@@ -1,0 +1,560 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section VIII) on the simulated P100, plus the tuning-cost
+   comparison of Section V and Bechamel micro-benchmarks of the framework
+   itself.
+
+     dune exec bench/main.exe             # everything
+     dune exec bench/main.exe -- fig5     # one experiment
+
+   Paper reference numbers are printed alongside so the shape comparison
+   (who wins, by what factor, where crossovers fall) is immediate;
+   EXPERIMENTS.md records the same pairs. *)
+
+module Suite = Artemis.Suite
+module Plan = Artemis.Plan
+module O = Artemis.Options
+module C = Artemis.Counters
+module An = Artemis.Analysis
+module I = Artemis.Instantiate
+
+let dev = Artemis.Device.p100
+
+let header title = Printf.printf "\n=== %s ===\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Shared tuning wrappers                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Aggregate TFLOPS over a benchmark's kernels under one per-kernel
+   tuning function returning (time, useful flops). *)
+let aggregate kernels tune_one =
+  let time = ref 0.0 and flops = ref 0.0 in
+  List.iter
+    (fun k ->
+      match tune_one k with
+      | Some (t, f) ->
+        time := !time +. t;
+        flops := !flops +. f
+      | None -> ())
+    kernels;
+  if !time > 0.0 then !flops /. !time /. 1e12 else 0.0
+
+let tune_global scheme (k : I.kernel) =
+  let opts =
+    match scheme with
+    | `Tiled -> O.global_tiled
+    | `Stream -> O.global_stream
+  in
+  let base = Artemis.Lower.lower dev k opts in
+  let knobs =
+    { Artemis_tune.Hierarchical.default_knobs with
+      try_retime = false; try_fold = false; try_concurrent = false; top_n = 2 }
+  in
+  match Artemis_tune.Hierarchical.tune ~knobs base with
+  | Some r -> Some (r.best.time_s, r.best.counters.useful_flops)
+  | None -> None
+
+let tune_artemis ?(iterative = false) (k : I.kernel) =
+  let r = Artemis.optimize_kernel ~iterative k in
+  Some (r.tuned.time_s, r.tuned.counters.useful_flops)
+
+(* ARTEMIS on rhs4sgcurv reports the trivial-split version (Section
+   VIII-F). *)
+let artemis_kernels (b : Suite.t) =
+  let ks = Suite.kernels b in
+  if b.name = "rhs4sgcurv" then List.concat_map Artemis.Fission.trivial ks else ks
+
+let stencilgen_result (b : Suite.t) =
+  let ks = Suite.kernels b in
+  if b.family = Suite.Sw4lite then None  (* mixed-dimensionality SW4 family *)
+  else begin
+    let time = ref 0.0 and flops = ref 0.0 and ok = ref true in
+    List.iter
+      (fun k ->
+        match Artemis_baselines.Stencilgen.tune dev k with
+        | Artemis_baselines.Stencilgen.Tuned (m, _) ->
+          time := !time +. m.time_s;
+          flops := !flops +. m.counters.useful_flops
+        | Artemis_baselines.Stencilgen.Unsupported _ -> ok := false)
+      ks;
+    if !ok && !time > 0.0 then Some (!flops /. !time /. 1e12) else None
+  end
+
+let ppcg_result (b : Suite.t) =
+  let ks = Suite.kernels b in
+  let time = ref 0.0 and flops = ref 0.0 in
+  List.iter
+    (fun k ->
+      match Artemis_baselines.Ppcg.tune dev k with
+      | Some r ->
+        (* the conditional derating applies to time, equivalently *)
+        time :=
+          !time
+          +. (r.measurement.time_s
+              *. (r.measurement.tflops /. Float.max r.derated_tflops 1e-9));
+        flops := !flops +. r.measurement.counters.useful_flops
+      | None -> ())
+    ks;
+  if !time > 0.0 then !flops /. !time /. 1e12 else 0.0
+
+(* Deep-tuned ARTEMIS number for an iterative benchmark: best per-sweep
+   performance over fusion degrees. *)
+let artemis_iterative (b : Suite.t) =
+  let dr = Artemis.deep_tune ~max_tile:5 b.prog in
+  let best =
+    List.fold_left
+      (fun acc (v : Artemis.Deep.version) -> Float.min acc v.time_per_sweep)
+      infinity dr.deep.versions
+  in
+  let k = List.hd (Suite.kernels b) in
+  let sweep_flops =
+    match Artemis_exec.Analytic.try_measure (Artemis.Lower.lower dev k O.default) with
+    | Some m -> m.counters.useful_flops
+    | None -> 0.0
+  in
+  (sweep_flops /. best /. 1e12, dr)
+
+(* ------------------------------------------------------------------ *)
+(* Table I                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  header "Table I: benchmark characteristics (derived from the DSL programs)";
+  Printf.printf "%-14s %-8s %4s %3s %8s %12s\n" "Benchmark" "Domain" "T" "k"
+    "# Flops" "# IO Arrays";
+  List.iter
+    (fun (b : Suite.t) ->
+      let flops, order, arrays = Suite.characteristics b in
+      let e = b.expect in
+      Printf.printf "%-14s %4d^3 %6d %3d %8d %12d   %s\n" b.name b.domain
+        b.time_steps order flops arrays
+        (if flops = e.flops && order = e.order && arrays = e.arrays then "(= paper)"
+         else "(MISMATCH vs paper!)"))
+    Suite.all
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4 + Table II                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  header "Figure 4: deep tuning for arbitrary time iterations";
+  List.iter
+    (fun name ->
+      let b = Suite.find name in
+      let dr = Artemis.deep_tune ~max_tile:5 b.prog in
+      Printf.printf "%s (paper: rises to a cusp at <= 4, then drops)\n" name;
+      List.iter
+        (fun (v : Artemis.Deep.version) ->
+          let m = v.record.best in
+          Printf.printf "  (%dx1)  %.3f TFLOPS   [%s]\n" v.time_tile m.tflops
+            (Artemis.Classify.verdict_to_string v.profile.verdict))
+        dr.deep.versions;
+      Printf.printf "  tipping point: %d (paper: under 4 time steps for all)\n"
+        dr.deep.cusp;
+      Printf.printf "  opt(T=%d) fusion schedule: [%s], predicted %.3e s\n%!"
+        b.time_steps
+        (String.concat "; " (List.map string_of_int dr.schedule))
+        dr.predicted_time)
+    [ "7pt-smoother"; "27pt-smoother" ]
+
+let table2 () =
+  header "Table II: OI per fusion degree of 7pt-smoother";
+  let b = Suite.find "7pt-smoother" in
+  let k = List.hd (Suite.kernels b) in
+  Printf.printf "%-10s %8s %8s %8s\n" "version" "OIdram" "OItex" "OIshm";
+  let print_row name (c : C.t) =
+    let s v = if v = infinity then "-" else Printf.sprintf "%.2f" v in
+    Printf.printf "%-10s %8s %8s %8s\n" name (s (C.oi_dram c)) (s (C.oi_tex c))
+      (s (C.oi_shm c))
+  in
+  (match Artemis_tune.Hierarchical.tune (Artemis.Lower.lower dev k O.global_tiled) with
+   | Some r -> print_row "global" r.best.counters
+   | None -> ());
+  let dr = Artemis.deep_tune ~max_tile:5 b.prog in
+  List.iter
+    (fun (v : Artemis.Deep.version) ->
+      print_row (Printf.sprintf "%dx1" v.time_tile) v.record.best.counters)
+    dr.deep.versions;
+  Printf.printf
+    "(paper: OIdram 0.97->5.90 and OItex 0.98->6.42 rise with the fusion\n\
+    \ degree; OIshm stays flat ~0.22; the bound shifts onto shared memory)\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Table III                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  header "Table III: OI of the spatial stencils (tuned global versions)";
+  Printf.printf "%-12s %6s %10s %10s %7s %10s %7s\n" "bench" "OI_T" "FLOP"
+    "Bytedram" "OIdram" "Bytetex" "OItex";
+  List.iter
+    (fun name ->
+      let b = Suite.find name in
+      List.iter
+        (fun (k : I.kernel) ->
+          let base = Artemis.Lower.lower dev k O.global_tiled in
+          match Artemis_tune.Hierarchical.tune base with
+          | Some r ->
+            let c = r.best.counters in
+            Printf.printf "%-12s %6.2f %10.2e %10.2e %7.2f %10.2e %7.2f\n%!" name
+              (An.theoretical_oi k) c.total_flops c.dram_bytes (C.oi_dram c)
+              c.tex_bytes (C.oi_tex c)
+          | None -> Printf.printf "%-12s (no valid global configuration)\n" name)
+        (Suite.kernels b))
+    [ "miniflux"; "hypterm"; "diffterm"; "addsgd4"; "addsgd6"; "rhs4center";
+      "rhs4sgcurv" ];
+  Printf.printf
+    "(paper: every kernel severely bandwidth-bound at texture cache —\n\
+    \ OItex 0.10-0.51 << knee 2.35; OIdram spans 0.14-5.69)\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Sections VIII-D and VIII-E                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fission () =
+  header "Section VIII-D: fission candidates for rhs4sgcurv";
+  let k = List.hd (Suite.kernels (Suite.find "rhs4sgcurv")) in
+  let maxfuse =
+    match tune_artemis k with Some (t, f) -> f /. t /. 1e12 | None -> 0.0
+  in
+  let split parts = aggregate parts (fun k -> tune_artemis k) in
+  let trivial = split (Artemis.Fission.trivial k) in
+  let recomp = split (Artemis.Fission.recompute k) in
+  Printf.printf "maxfuse           %.3f TFLOPS   (paper 0.48, spills at 255 regs)\n"
+    maxfuse;
+  Printf.printf "trivial-fission   %.3f TFLOPS   (paper 1.048, three spill-free parts)\n"
+    trivial;
+  Printf.printf "recompute-fission %.3f TFLOPS\n" recomp;
+  Printf.printf "fission speedup   %.2fx          (paper 2.18x)\n%!"
+    (if maxfuse > 0.0 then trivial /. maxfuse else 0.0)
+
+let assign () =
+  header "Section VIII-E: domain-expert guided resource assignment (addsgd4)";
+  let k = List.hd (Suite.kernels (Suite.find "addsgd4")) in
+  let run honor =
+    (Artemis.optimize_kernel ~opts:{ O.default with O.honor_user_assign = honor } k)
+      .tuned.tflops
+  in
+  let without = run false and with_ = run true in
+  Printf.printf "without #assign  %.3f TFLOPS   (paper 0.65)\n" without;
+  Printf.printf "with #assign     %.3f TFLOPS   (paper 1.05)\n" with_;
+  Printf.printf "improvement      %.2fx          (paper 1.62x)\n%!" (with_ /. without)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  header "Figure 5: performance on the simulated P100 (TFLOPS)";
+  Printf.printf "%-14s %7s %9s %7s %11s %8s\n" "benchmark" "PPCG" "g-stream"
+    "global" "STENCILGEN" "ARTEMIS";
+  List.iter
+    (fun (b : Suite.t) ->
+      let ks = Suite.kernels b in
+      let ppcg = ppcg_result b in
+      let gstream = aggregate ks (tune_global `Stream) in
+      let global = aggregate ks (tune_global `Tiled) in
+      let sgen = stencilgen_result b in
+      let artemis =
+        if b.iterative then fst (artemis_iterative b)
+        else aggregate (artemis_kernels b) (fun k -> tune_artemis k)
+      in
+      Printf.printf "%-14s %7.3f %9.3f %7.3f %11s %8.3f\n%!" b.name ppcg gstream
+        global
+        (match sgen with Some v -> Printf.sprintf "%.3f" v | None -> "n/s")
+        artemis)
+    Suite.all;
+  Printf.printf
+    "(paper shapes: PPCG lowest everywhere; global-stream <= global;\n\
+    \ ARTEMIS beats STENCILGEN on all iterative stencils; STENCILGEN cannot\n\
+    \ generate the SW4lite kernels; ARTEMIS peaks 1.0-1.7 TFLOPS)\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  header "Figure 6: interaction between optimizations and autotuning (TFLOPS)";
+  let module H = Artemis_tune.Hierarchical in
+  let baseline_block (b : Suite.t) use_shared =
+    if not use_shared then [| 4; 4; 16 |]  (* (x=16,y=4,z=4) non-streaming *)
+    else if b.iterative then [| 1; 16; 32 |]  (* (x=32,y=16) *)
+    else [| 1; 16; 16 |]  (* (x=16,y=16) register-constrained spatial *)
+  in
+  let measure_with (b : Suite.t) use_shared variant =
+    let ks = Suite.kernels b in
+    aggregate ks (fun k ->
+        let opts = if use_shared then O.default else O.global_tiled in
+        let base0 = Artemis.Lower.lower dev k { opts with O.block = None } in
+        let base =
+          { base0 with Plan.block = baseline_block b use_shared; max_regs = 255 }
+        in
+        let base =
+          if Artemis_ir.Validate.is_valid base then base
+          else { base with Plan.block = [| 1; 8; 16 |] }
+        in
+        let result =
+          match variant with
+          | `Base -> Artemis_exec.Analytic.try_measure base
+          | `Tb ->
+            Option.map
+              (fun (r : H.record) -> r.phase1_best)
+              (H.tune
+                 ~knobs:
+                   { H.default_knobs with try_unroll = false; try_prefetch = false;
+                     try_concurrent = false; try_perspective = false;
+                     try_retime = false; try_fold = false }
+                 base0)
+          | `Unroll ->
+            let unrolls =
+              Artemis_tune.Space.unroll_candidates ~rank:(Plan.rank base)
+                ~scheme:base.Plan.scheme ~bound:8
+            in
+            List.fold_left
+              (fun acc u ->
+                match
+                  Artemis_exec.Analytic.try_measure { base with Plan.unroll = u }
+                with
+                | Some m -> (
+                  match acc with
+                  | Some (a : Artemis_exec.Analytic.measurement)
+                    when a.tflops >= m.tflops -> acc
+                  | _ -> Some m)
+                | None -> acc)
+              None unrolls
+          | `Misc -> Option.map (fun (r : H.record) -> r.best) (H.tune base0)
+        in
+        Option.map
+          (fun (m : Artemis_exec.Analytic.measurement) ->
+            (m.time_s, m.counters.useful_flops))
+          result)
+  in
+  Printf.printf "%-14s | %23s | %23s\n" "" "global" "sh+reg";
+  Printf.printf "%-14s | %5s %5s %6s %5s | %5s %5s %6s %5s\n" "benchmark" "base"
+    "TB" "unroll" "misc" "base" "TB" "unroll" "misc";
+  List.iter
+    (fun (b : Suite.t) ->
+      let row use_shared =
+        List.map (measure_with b use_shared) [ `Base; `Tb; `Unroll; `Misc ]
+      in
+      let g = row false and s = row true in
+      let p v = Printf.sprintf "%5.2f" v in
+      match (g, s) with
+      | [ g1; g2; g3; g4 ], [ s1; s2; s3; s4 ] ->
+        Printf.printf "%-14s | %s %s %6s %s | %s %s %6s %s\n%!" b.name (p g1) (p g2)
+          (p g3) (p g4) (p s1) (p s2) (p s3) (p s4)
+      | _ -> ())
+    Suite.all;
+  Printf.printf
+    "(paper shapes: TB variation helps the shared versions of high-order\n\
+    \ stencils most; unrolling helps iterative shared versions, not the\n\
+    \ register-constrained spatial ones; 'misc' — prefetch + retiming +\n\
+    \ folding + load/compute adjustment — is the best column nearly\n\
+    \ everywhere)\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Section V tuning cost                                                *)
+(* ------------------------------------------------------------------ *)
+
+let tuningcost () =
+  header "Section V: hierarchical vs generic autotuning cost (7pt Jacobi)";
+  let k = List.hd (Suite.kernels (Suite.find "7pt-smoother")) in
+  let base = Artemis.Lower.lower dev k O.default in
+  match Artemis_tune.Hierarchical.tune base with
+  | Some h ->
+    let ot = Artemis_tune.Opentuner_sim.tune ~budget:4000 base in
+    Printf.printf "full cross-product space       : %d configurations\n" ot.space_size;
+    Printf.printf "hierarchical tuning measured   : %d configurations\n" h.explored;
+    Printf.printf "pruning factor                 : %.1fx\n"
+      (float_of_int ot.space_size /. float_of_int (max h.explored 1));
+    (match ot.best with
+     | Some o ->
+       Printf.printf "best (exhaustive, 4000 cap)    : %.3f TFLOPS\n" o.tflops;
+       Printf.printf "best (hierarchical)            : %.3f TFLOPS (%.0f%% of it)\n"
+         h.best.tflops
+         (100.0 *. h.best.tflops /. o.tflops)
+     | None -> ());
+    Printf.printf
+      "(paper: OpenTuner took >24h for exhaustive tuning; hierarchical\n\
+      \ tuning reached similar performance in <5h)\n%!"
+  | None -> print_endline "tuning failed"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the framework                           *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  header "Bechamel: framework phase costs (monotonic clock, ns/run)";
+  let open Bechamel in
+  let b7 = Suite.find "7pt-smoother" in
+  let src = Artemis.Pretty.program_to_string b7.prog in
+  let k = List.hd (Suite.kernels b7) in
+  let krhs = List.hd (Suite.kernels (Suite.find "rhs4center")) in
+  let tests =
+    Test.make_grouped ~name:"artemis"
+      [
+        Test.make ~name:"parse+check jacobi"
+          (Staged.stage (fun () -> ignore (Artemis.parse_string src)));
+        Test.make ~name:"analysis rhs4center"
+          (Staged.stage (fun () ->
+               ignore (An.flops_per_point krhs);
+               ignore (An.required_extents krhs)));
+        Test.make ~name:"lower 7pt"
+          (Staged.stage (fun () -> ignore (Artemis.Lower.lower dev k O.default)));
+        Test.make ~name:"analytic counters 7pt (512^3)"
+          (Staged.stage (fun () ->
+               ignore
+                 (Artemis_exec.Analytic.measure (Artemis.Lower.lower dev k O.default))));
+        Test.make ~name:"cuda emission rhs4center"
+          (Staged.stage (fun () ->
+               ignore (Artemis.Cuda.emit (Artemis.Lower.lower dev krhs O.default))));
+      ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-40s %12.1f ns/run\n" name est
+      | Some _ | None -> Printf.printf "%-40s (no estimate)\n" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of the machine-model calibration (DESIGN.md, Section 5)    *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  header "Ablation: sensitivity of headline results to model calibration";
+  let k7 = List.hd (Suite.kernels (Suite.find "7pt-smoother")) in
+  let kc = List.hd (Suite.kernels (Suite.find "rhs4center")) in
+  let k6 = List.hd (Suite.kernels (Suite.find "addsgd6")) in
+  let tuned device k =
+    let base = Artemis.Lower.lower device k O.default in
+    match Artemis_tune.Hierarchical.tune ~knobs:{ Artemis_tune.Hierarchical.default_knobs with top_n = 2 } base with
+    | Some r -> r.best.tflops
+    | None -> 0.0
+  in
+  Printf.printf "effective DP issue latency (cycles) — the latency knee:\n";
+  List.iter
+    (fun lat ->
+      let d = { dev with Artemis.Device.dp_latency_cycles = lat } in
+      Printf.printf
+        "  latency %4.0f: addsgd6 %.3f TFLOPS, rhs4center %.3f TFLOPS\n%!" lat
+        (tuned d k6) (tuned d kc))
+    [ 8.0; 16.0; 24.0 ];
+  Printf.printf "L2 capacity — the streaming-without-shared-memory penalty:\n";
+  List.iter
+    (fun mb ->
+      let d = { dev with Artemis.Device.l2_bytes = mb * 1024 * 1024 } in
+      let p = Artemis.Lower.lower d k7 O.global_stream in
+      match Artemis_exec.Analytic.try_measure p with
+      | Some m -> Printf.printf "  L2 %2d MB: 7pt global-stream %.3f TFLOPS\n%!" mb m.tflops
+      | None -> ())
+    [ 2; 4; 8; 16 ];
+  Printf.printf "halo L2-miss fraction — inter-block overlap refetch cost:\n";
+  List.iter
+    (fun hm ->
+      Artemis_exec.Traffic.with_model
+        { Artemis_exec.Traffic.default_model with halo_miss = hm }
+        (fun () ->
+          Printf.printf "  halo_miss %.1f: 7pt %.3f, rhs4center %.3f TFLOPS\n%!" hm
+            (tuned dev k7) (tuned dev kc)))
+    [ 0.3; 0.5; 0.7; 1.0 ];
+  Printf.printf
+    "(the qualitative orderings of Figs 4-6 are stable across these sweeps;\n\
+    \ absolute TFLOPS shift by tens of percent)\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Extras: 2-D image-pipeline stencils (beyond the paper's Table I)     *)
+(* ------------------------------------------------------------------ *)
+
+let extras () =
+  header "Extras: 2-D stencils (2048^2) across schemes";
+  let module X = Artemis_bench.Extras in
+  Printf.printf "%-14s %8s %9s %9s %9s %8s\n" "benchmark" "g-tiled" "g-stream"
+    "sh-tiled" "sh-stream" "ARTEMIS";
+  List.iter
+    (fun (b : X.t) ->
+      let ks = X.kernels b in
+      let with_opts opts =
+        aggregate ks (fun k ->
+            match Artemis_exec.Analytic.try_measure (Artemis.Lower.lower dev k opts) with
+            | Some m -> Some (m.time_s, m.counters.useful_flops)
+            | None -> None)
+      in
+      let artemis =
+        aggregate ks (fun k -> tune_artemis ~iterative:b.iterative k)
+      in
+      Printf.printf "%-14s %8.3f %9.3f %9.3f %9.3f %8.3f\n%!" b.name
+        (with_opts O.global_tiled)
+        (with_opts O.global_stream)
+        (with_opts { O.default with O.scheme = O.Force_tiled })
+        (with_opts O.default)
+        artemis)
+    X.all;
+  (* heat2d also deep-tunes: the 2-D fusion cusp. *)
+  let b = X.find "heat2d" in
+  let dr = Artemis.deep_tune ~max_tile:5 b.prog in
+  Printf.printf "heat2d deep tuning:";
+  List.iter
+    (fun (v : Artemis.Deep.version) ->
+      Printf.printf "  (%dx1) %.3f" v.time_tile v.record.best.tflops)
+    dr.deep.versions;
+  Printf.printf "\n  opt(T=16) = [%s]\n%!"
+    (String.concat "; " (List.map string_of_int dr.schedule))
+
+(* ------------------------------------------------------------------ *)
+(* Device portability: the V100 entry                                   *)
+(* ------------------------------------------------------------------ *)
+
+let v100 () =
+  header "Portability: re-tuning three benchmarks for a V100-class device";
+  let d = Artemis.Device.v100 in
+  Printf.printf "%s\n" (Format.asprintf "%a" Artemis.Device.pp d);
+  List.iter
+    (fun name ->
+      let b = Suite.find name in
+      let ks = Suite.kernels b in
+      let tf device =
+        aggregate ks (fun k ->
+            let base = Artemis.Lower.lower device k O.default in
+            match Artemis_tune.Hierarchical.tune ~knobs:{ Artemis_tune.Hierarchical.default_knobs with top_n = 2 } base with
+            | Some r -> Some (r.best.time_s, r.best.counters.useful_flops)
+            | None -> None)
+      in
+      Printf.printf "%-14s P100 %.3f -> V100 %.3f TFLOPS\n%!" name (tf dev) (tf d))
+    [ "7pt-smoother"; "27pt-smoother"; "rhs4center" ];
+  Printf.printf
+    "(more SMs, more shared memory, and higher bandwidth lift every kernel;\n\
+    \ the tuner picks different block shapes per device)\n%!"
+
+(* ------------------------------------------------------------------ *)
+
+let all_experiments =
+  [ ("table1", table1); ("fig4", fig4); ("table2", table2); ("table3", table3);
+    ("fission", fission); ("assign", assign); ("fig5", fig5); ("fig6", fig6);
+    ("tuningcost", tuningcost); ("ablation", ablation); ("extras", extras);
+    ("v100", v100); ("bechamel", bechamel) ]
+
+let () =
+  Printf.printf "ARTEMIS reproduction benchmarks — %s\n%!"
+    (Format.asprintf "%a" Artemis.Device.pp dev);
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst all_experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown experiment %s (available: %s)\n" name
+          (String.concat ", " (List.map fst all_experiments));
+        exit 1)
+    requested

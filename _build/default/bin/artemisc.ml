@@ -1,0 +1,201 @@
+(* artemisc — the ARTEMIS command-line driver.
+
+   Subcommands mirror the Section VII flow:
+
+     artemisc compile  prog.stc     # baseline CUDA from the DSL pragma
+     artemisc optimize prog.stc     # profile -> tune -> hints -> CUDA
+     artemisc deep     prog.stc     # deep tuning of an iterative program
+     artemisc check    prog.stc     # parse + semantic check only
+     artemisc bench <name>          # run one suite benchmark end to end *)
+
+open Cmdliner
+
+let read_program path =
+  try `Ok (Artemis.parse_file path) with
+  | Artemis.Parser.Parse_error (msg, line) ->
+    `Error (false, Printf.sprintf "%s:%d: syntax error: %s" path line msg)
+  | Artemis.Check.Semantic_error msg ->
+    `Error (false, Printf.sprintf "%s: semantic error: %s" path msg)
+  | Sys_error msg -> `Error (false, msg)
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROG.stc"
+         ~doc:"Stencil DSL program")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write generated CUDA to $(docv) instead of stdout")
+
+let write_output out text =
+  match out with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  | None -> print_string text
+
+(* ---------------- check ---------------- *)
+
+let check_cmd =
+  let run path =
+    match read_program path with
+    | `Ok prog ->
+      let n_kernels = Artemis.Instantiate.launch_count (Artemis.Instantiate.schedule prog) in
+      Printf.printf "%s: OK (%d stencil(s), %d launch(es))\n" path
+        (List.length prog.stencils) n_kernels;
+      `Ok ()
+    | `Error _ as e -> e
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Parse and semantically check a DSL program")
+    Term.(ret (const run $ path_arg))
+
+(* ---------------- compile ---------------- *)
+
+let compile_cmd =
+  let run path out =
+    match read_program path with
+    | `Ok prog ->
+      let k = Artemis.first_kernel prog in
+      let plan =
+        Artemis.Lower.lower_with_pragma Artemis.Device.p100 k Artemis.Options.default
+      in
+      Artemis.Validate.check plan;
+      write_output out (Artemis.Cuda.emit plan);
+      `Ok ()
+    | `Error _ as e -> e
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Generate the baseline CUDA version from the program's pragma")
+    Term.(ret (const run $ path_arg $ out_arg))
+
+(* ---------------- optimize ---------------- *)
+
+let optimize_cmd =
+  let iterative =
+    Arg.(value & flag & info [ "iterative" ]
+           ~doc:"Apply the fusion guideline for time-iterated stencils")
+  in
+  let run path out iterative =
+    match read_program path with
+    | `Ok prog ->
+      let k = Artemis.first_kernel prog in
+      let r = Artemis.optimize_kernel ~iterative k in
+      Printf.printf "baseline : %.3f TFLOPS  [%s]\n" r.baseline.tflops
+        (Artemis.Classify.verdict_to_string r.baseline_profile.verdict);
+      Printf.printf "tuned    : %.3f TFLOPS  %s\n" r.tuned.tflops
+        (Artemis.Plan.label r.tuned.plan);
+      Printf.printf "explored : %d configurations\n" r.explored;
+      List.iter
+        (fun (h : Artemis.Hints.hint) ->
+          Printf.printf "%s: %s\n"
+            (match h.severity with `Info -> "info" | `Advice -> "hint")
+            h.text)
+        r.hints;
+      List.iteri
+        (fun i parts ->
+          let name = if i = 0 then "trivial" else "recompute" in
+          Printf.printf "fission candidate (%s): %d sub-kernels\n" name
+            (List.length parts);
+          let dsl = Artemis.Fission.to_dsl k parts in
+          let path = Printf.sprintf "%s.%s-fission.stc" path name in
+          let oc = open_out path in
+          output_string oc (Artemis.Pretty.program_to_string dsl);
+          close_out oc;
+          Printf.printf "  wrote %s\n" path)
+        r.fission_candidates;
+      let report_path = path ^ ".report.txt" in
+      let oc = open_out report_path in
+      output_string oc (Artemis.report_of r);
+      close_out oc;
+      Printf.printf "wrote %s\n" report_path;
+      write_output out (Artemis.cuda_of r);
+      `Ok ()
+    | `Error _ as e -> e
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Profile, hierarchically autotune, and emit the best CUDA version")
+    Term.(ret (const run $ path_arg $ out_arg $ iterative))
+
+(* ---------------- deep ---------------- *)
+
+let deep_cmd =
+  let iterations =
+    Arg.(value & opt (some int) None & info [ "T"; "iterations" ] ~docv:"T"
+           ~doc:"Build the fusion schedule for $(docv) iterations instead of \
+                 the program's own count")
+  in
+  let run path iterations =
+    match read_program path with
+    | `Ok prog -> (
+      try
+        let dr = Artemis.deep_tune prog in
+        List.iter
+          (fun (v : Artemis.Deep.version) ->
+            Printf.printf "(%dx1): %.3f TFLOPS  [%s]\n" v.time_tile
+              v.record.best.tflops
+              (Artemis.Classify.verdict_to_string v.profile.verdict))
+          dr.deep.versions;
+        let schedule, time =
+          match iterations with
+          | Some t -> Artemis.Deep.optimal_schedule dr.deep ~t
+          | None -> (dr.schedule, dr.predicted_time)
+        in
+        Printf.printf "fusion schedule: [%s]  (predicted %.3e s)\n"
+          (String.concat "; " (List.map string_of_int schedule))
+          time;
+        `Ok ()
+      with Invalid_argument msg -> `Error (false, msg))
+    | `Error _ as e -> e
+  in
+  Cmd.v
+    (Cmd.info "deep"
+       ~doc:"Deep-tune an iterative ping-pong program (Section VI-A)")
+    Term.(ret (const run $ path_arg $ iterations))
+
+(* ---------------- bench ---------------- *)
+
+let bench_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
+           ~doc:"Suite benchmark name (see 'artemisc list')")
+  in
+  let run name =
+    match Artemis.Suite.find name with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | b ->
+      let ks = Artemis.Suite.kernels b in
+      List.iter
+        (fun k ->
+          let r = Artemis.optimize_kernel ~iterative:b.iterative k in
+          Printf.printf "%s: %.3f TFLOPS  %s\n" k.Artemis.Instantiate.kname
+            r.tuned.tflops (Artemis.Plan.label r.tuned.plan))
+        ks;
+      `Ok ()
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"Optimize one Table-I benchmark end to end")
+    Term.(ret (const run $ name_arg))
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (b : Artemis.Suite.t) ->
+        Printf.printf "%-14s %s, %d^3%s\n" b.name
+          (Artemis.Suite.family_to_string b.family)
+          b.domain
+          (if b.iterative then Printf.sprintf ", %d iterations" b.time_steps else ""))
+      Artemis.Suite.all;
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the Table-I benchmarks")
+    Term.(ret (const run $ const ()))
+
+let () =
+  let info =
+    Cmd.info "artemisc" ~version:Artemis.version
+      ~doc:"ARTEMIS stencil code generator (OCaml reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ check_cmd; compile_cmd; optimize_cmd; deep_cmd;
+                                   bench_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/denoise_pipeline.ml: Artemis Artemis_exec List Printf

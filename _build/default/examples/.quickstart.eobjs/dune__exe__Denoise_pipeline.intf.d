@@ -1,0 +1,1 @@
+examples/denoise_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/hpgmg_deep_tuning.ml: Artemis List Printf String

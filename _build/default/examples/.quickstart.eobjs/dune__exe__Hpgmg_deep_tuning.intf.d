@@ -1,0 +1,1 @@
+examples/hpgmg_deep_tuning.mli:

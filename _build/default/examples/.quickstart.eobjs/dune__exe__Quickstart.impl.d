@@ -1,0 +1,1 @@
+examples/quickstart.ml: Artemis Artemis_exec List Printf String

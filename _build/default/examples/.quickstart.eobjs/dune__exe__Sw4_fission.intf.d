@@ -1,0 +1,1 @@
+examples/sw4_fission.mli:

@@ -1,0 +1,37 @@
+(* HPGMG smoothers with variable time iterations (paper, Section VI-A).
+
+     dune exec examples/hpgmg_deep_tuning.exe
+
+   The smoothing degree in multigrid changes between invocations, so the
+   profitable fusion degree must be found once and reused for any T.
+   Deep tuning generates fused versions (x*1) while they stay
+   bandwidth-bound, autotunes each, then the opt(T) dynamic program
+   assembles a near-optimal fusion schedule for whatever iteration count
+   the solver requests. *)
+
+let () =
+  List.iter
+    (fun name ->
+      let b = Artemis.Suite.find name in
+      Printf.printf "=== %s (%d^3) ===\n" b.name b.domain;
+      let dr = Artemis.deep_tune ~max_tile:5 b.prog in
+      List.iter
+        (fun (v : Artemis.Deep.version) ->
+          Printf.printf
+            "  (%dx1): %.3f TFLOPS per launch, %.3e s/sweep  [%s]\n"
+            v.time_tile v.record.best.tflops v.time_per_sweep
+            (Artemis.Classify.verdict_to_string v.profile.verdict))
+        dr.deep.versions;
+      Printf.printf "  cusp at time tile %d; exploration stopped at %d versions\n"
+        dr.deep.cusp
+        (List.length dr.deep.versions);
+      (* The solver can now ask for any smoothing degree: *)
+      List.iter
+        (fun t ->
+          let schedule, time = Artemis.Deep.optimal_schedule dr.deep ~t in
+          Printf.printf "  opt(T=%2d) = [%s]  predicted %.3e s\n" t
+            (String.concat "; " (List.map string_of_int schedule))
+            time)
+        [ 2; 5; 12; 13; 40 ];
+      print_newline ())
+    [ "7pt-smoother"; "27pt-smoother"; "helmholtz" ]

@@ -1,0 +1,1 @@
+lib/baselines/ppcg.ml: Artemis_dsl Artemis_exec Artemis_gpu Artemis_ir Artemis_tune List Option

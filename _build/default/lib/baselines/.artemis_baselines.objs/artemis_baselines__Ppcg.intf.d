@@ -1,0 +1,1 @@
+lib/baselines/ppcg.mli: Artemis_dsl Artemis_exec Artemis_gpu Artemis_ir

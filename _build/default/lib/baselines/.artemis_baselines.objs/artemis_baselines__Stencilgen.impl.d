@@ -1,0 +1,1 @@
+lib/baselines/stencilgen.ml: Array Artemis_codegen Artemis_dsl Artemis_exec Artemis_gpu Artemis_ir Artemis_tune List Printf

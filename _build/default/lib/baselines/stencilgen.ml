@@ -1,0 +1,84 @@
+(* STENCILGEN-like baseline (paper, Sections VIII-F and IX).
+
+   STENCILGEN is the strongest prior stencil code generator the paper
+   compares against.  Its strategy, per the paper:
+
+   - serial streaming along the slowest dimension with shared-memory
+     plane windows — the one framework besides ARTEMIS that automates it;
+   - time tiling (fusion) with associative reordering (retiming), applied
+     when the statements are amenable;
+   - all optimizations applied simultaneously — no bottleneck analysis;
+   - NO loop unrolling, prefetching, concurrent streaming, or thread-block
+     load/compute adjustment (the paper credits ARTEMIS's iterative wins
+     exactly to these);
+   - no support for domains of different dimensionality within one stencil
+     function (it "could not generate code for the kernels from SW4lite"),
+     reported here as [Unsupported]. *)
+
+module A = Artemis_dsl.Ast
+module An = Artemis_dsl.Analysis
+module I = Artemis_dsl.Instantiate
+module Plan = Artemis_ir.Plan
+module Device = Artemis_gpu.Device
+module Analytic = Artemis_exec.Analytic
+module Options = Artemis_codegen.Options
+module Lower = Artemis_codegen.Lower
+module Retime = Artemis_codegen.Retime
+
+type outcome =
+  | Tuned of Analytic.measurement * int  (** best, configurations explored *)
+  | Unsupported of string
+
+(* STENCILGEN rejects kernels mixing domain dimensionalities (e.g. SW4's
+   1-D stretching arrays alongside 3-D fields). *)
+let mixed_dimensionality (k : I.kernel) =
+  let ranks =
+    List.map (fun (_, dims) -> Array.length dims) k.arrays |> List.sort_uniq compare
+  in
+  List.length ranks > 1
+
+let base_plan (device : Device.t) (k : I.kernel) =
+  let opts =
+    {
+      Options.default with
+      Options.scheme = Options.Force_stream (Some 0);
+      use_shared = true;
+      retime = true;
+      honor_user_assign = false;  (* no user-guided assignment in STENCILGEN *)
+      prefetch = false;
+    }
+  in
+  Lower.lower device k opts
+
+(** Tune the STENCILGEN strategy: block shapes only (its tuning axes are
+    fusion degree and block dims; fusion is the caller's axis). *)
+let tune (device : Device.t) (k : I.kernel) =
+  if mixed_dimensionality k then
+    Unsupported
+      (Printf.sprintf
+         "%s mixes domain dimensionalities within one stencil function" k.kname)
+  else begin
+    let base = base_plan device k in
+    let rank = Plan.rank base in
+    let blocks =
+      Artemis_tune.Space.block_candidates ~rank ~scheme:base.scheme
+        ~max_threads:device.max_threads_per_block
+    in
+    let explored = ref 0 in
+    let best =
+      List.fold_left
+        (fun acc block ->
+          (* STENCILGEN compiles at the full register budget. *)
+          match Analytic.try_measure { base with Plan.block; max_regs = 255 } with
+          | Some m ->
+            incr explored;
+            (match acc with
+             | Some (a : Analytic.measurement) when a.tflops >= m.tflops -> acc
+             | Some _ | None -> Some m)
+          | None -> acc)
+        None blocks
+    in
+    match best with
+    | Some m -> Tuned (m, !explored)
+    | None -> Unsupported "no valid configuration"
+  end

@@ -1,0 +1,25 @@
+(** STENCILGEN-like baseline (paper, Sections VIII-F and IX): the
+    strongest prior stencil generator the paper compares against.
+
+    Strategy, per the paper: serial streaming with shared-memory plane
+    windows, fusion with associative reordering (retiming), every
+    optimization applied simultaneously with no bottleneck analysis, and
+    no loop unrolling, prefetching, concurrent streaming, or load/compute
+    adjustment.  It rejects stencil functions mixing domain
+    dimensionalities (which is why it "could not generate code for the
+    kernels from SW4lite"). *)
+
+type outcome =
+  | Tuned of Artemis_exec.Analytic.measurement * int
+      (** best measurement, configurations explored *)
+  | Unsupported of string
+
+(** Kernels mixing array ranks within one stencil function. *)
+val mixed_dimensionality : Artemis_dsl.Instantiate.kernel -> bool
+
+(** The STENCILGEN strategy's base plan for a kernel. *)
+val base_plan :
+  Artemis_gpu.Device.t -> Artemis_dsl.Instantiate.kernel -> Artemis_ir.Plan.t
+
+(** Tune the strategy over block shapes. *)
+val tune : Artemis_gpu.Device.t -> Artemis_dsl.Instantiate.kernel -> outcome

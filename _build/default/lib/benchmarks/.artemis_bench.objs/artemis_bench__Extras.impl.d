@@ -1,0 +1,1 @@
+lib/benchmarks/extras.ml: Artemis_dsl List

@@ -1,0 +1,1 @@
+lib/benchmarks/stencil_gen.ml: Artemis_dsl List Printf

@@ -1,0 +1,1 @@
+lib/benchmarks/stencil_gen.mli: Artemis_dsl

@@ -1,0 +1,1 @@
+lib/benchmarks/suite.ml: Artemis_dsl List Printf Stencil_gen

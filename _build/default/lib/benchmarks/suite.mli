@@ -1,0 +1,51 @@
+(** The Table-I benchmark suite.
+
+    The four iterative benchmarks (HPGMG smoothers, helmholtz, CDSC
+    denoise) have genuine hand-written bodies; the seven spatial mini-app
+    kernels are generated to match their published characteristics
+    exactly (order, IO array count, per-point FLOPs, kernel split, user
+    resource assignments, SW4's mixed-rank arrays and Figure-3
+    temporaries).  Unit tests assert every derived characteristic equals
+    Table I. *)
+
+type family =
+  | Hpgmg
+  | Cdsc
+  | Cfd  (** miniflux (loop chains, Davis et al.) *)
+  | Expcns
+  | Sw4lite
+
+type expectation = {
+  flops : int;  (** per point, summed over the benchmark's kernels *)
+  order : int;
+  arrays : int;  (** distinct IO arrays across kernels *)
+}
+
+type t = {
+  name : string;  (** Table-I display name, e.g. "7pt-smoother" *)
+  family : family;
+  domain : int;  (** cube edge: 512 or 320 *)
+  time_steps : int;  (** the T column *)
+  iterative : bool;
+  prog : Artemis_dsl.Ast.program;
+  pingpong : (string * string) option;  (** (out, in) of the time loop *)
+  expect : expectation;  (** the paper's Table-I row *)
+}
+
+val family_to_string : family -> string
+
+(** All eleven benchmarks, in Table-I order. *)
+val all : t list
+
+(** @raise Invalid_argument on unknown names *)
+val find : string -> t
+
+(** The benchmark rescaled to a small cube for data-execution tests. *)
+val at_size : int -> t -> t
+
+(** Instantiated kernels (one per distinct stencil; time loops
+    deduplicated). *)
+val kernels : t -> Artemis_dsl.Instantiate.kernel list
+
+(** Derived Table-I characteristics: (flops, order, arrays). *)
+val characteristics : t -> int * int * int

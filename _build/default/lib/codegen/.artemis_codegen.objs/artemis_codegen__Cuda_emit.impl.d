@@ -1,0 +1,1 @@
+lib/codegen/cuda_emit.ml: Array Artemis_dsl Artemis_ir Buffer Float Fun List Option Printf String

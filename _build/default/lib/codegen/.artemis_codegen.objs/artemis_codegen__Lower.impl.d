@@ -1,0 +1,1 @@
+lib/codegen/lower.ml: Array Artemis_dsl Artemis_gpu Artemis_ir Fun List Option Options Resource_assign Retime

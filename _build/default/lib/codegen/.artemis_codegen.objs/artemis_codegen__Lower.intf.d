@@ -1,0 +1,1 @@
+lib/codegen/lower.mli: Artemis_dsl Artemis_gpu Artemis_ir Options

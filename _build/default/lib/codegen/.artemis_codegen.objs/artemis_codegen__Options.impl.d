@@ -1,0 +1,1 @@
+lib/codegen/options.ml: Array Artemis_dsl Artemis_ir List String

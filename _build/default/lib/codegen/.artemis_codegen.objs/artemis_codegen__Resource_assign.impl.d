@@ -1,0 +1,1 @@
+lib/codegen/resource_assign.ml: Array Artemis_dsl Artemis_gpu Artemis_ir List Option

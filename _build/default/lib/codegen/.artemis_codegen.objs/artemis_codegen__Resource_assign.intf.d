@@ -1,0 +1,1 @@
+lib/codegen/resource_assign.mli: Artemis_dsl Artemis_ir

@@ -1,0 +1,1 @@
+lib/codegen/retime.ml: Artemis_dsl List

@@ -1,0 +1,1 @@
+lib/codegen/retime.mli: Artemis_dsl

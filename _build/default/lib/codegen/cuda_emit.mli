@@ -1,0 +1,12 @@
+(** CUDA C emission for a kernel plan.
+
+    In the paper ARTEMIS emits CUDA that NVCC compiles; here the
+    simulator stands in for the GPU, but every plan still prints the
+    concrete CUDA it denotes — for inspection, stability tests, and to
+    keep the lowering honest: staging loads, plane-window rotation,
+    prefetch registers, register-cached planes, guards, and the host
+    launcher all appear as visible code constructs. *)
+
+(** Emit the CUDA source (kernel plus host launcher).  Deterministic:
+    equal plans produce equal text. *)
+val emit : Artemis_ir.Plan.t -> string

@@ -1,0 +1,89 @@
+(* Code-generation options: everything a user pragma, a profiling
+   guideline, or the autotuner can decide before lowering a kernel to a
+   plan.  [None] fields mean "let ARTEMIS choose". *)
+
+module A = Artemis_dsl.Ast
+module Plan = Artemis_ir.Plan
+
+type scheme_hint =
+  | Auto  (** streaming along the slowest dimension when shared memory is used *)
+  | Force_tiled
+  | Force_stream of int option  (** dimension, [None] = slowest *)
+  | Force_concurrent of int option * int  (** dimension, chunk *)
+
+type t = {
+  scheme : scheme_hint;
+  use_shared : bool;  (** master switch; false = global-memory version *)
+  block : int array option;  (** threads per dim, slowest first *)
+  unroll : int array option;
+  distribution : Plan.distribution;
+  prefetch : bool;
+  perspective : Plan.perspective;
+  retime : bool;  (** decompose + retime when homogenizable (Section III-B2) *)
+  fold : bool;  (** storage/computation folding (Section III-B4) *)
+  max_regs : int;
+  honor_user_assign : bool;  (** respect #assign clauses from the DSL *)
+  target_occupancy : float option;  (** the pragma's [occupancy t] clause *)
+}
+
+let default =
+  {
+    scheme = Auto;
+    use_shared = true;
+    block = None;
+    unroll = None;
+    distribution = Plan.Blocked;
+    prefetch = false;
+    perspective = Plan.Output_persp;
+    retime = false;
+    fold = false;
+    max_regs = 255;
+    honor_user_assign = true;
+    target_occupancy = None;
+  }
+
+(** The paper's global-memory comparison versions (Section VIII-F). *)
+let global_tiled = { default with use_shared = false; scheme = Force_tiled }
+let global_stream = { default with use_shared = false; scheme = Force_stream None }
+
+(** Merge pragma guidance from the DSL into an option set: the pragma's
+    stream/block/unroll/occupancy clauses override [base]'s corresponding
+    fields (paper, Listing 1 line 5 and Section II-B2). *)
+let of_pragma ?(base = default) (iters : string list) (pr : A.pragma) =
+  let dim_index it = List.find_index (String.equal it) iters in
+  let scheme =
+    match pr.stream_dim with
+    | Some it -> (
+      match dim_index it with
+      | Some d -> Force_stream (Some d)
+      | None -> base.scheme)
+    | None -> base.scheme
+  in
+  let rank = List.length iters in
+  let block =
+    match pr.block with
+    | Some dims ->
+      (* Pragmas list extents fastest dimension first. *)
+      let b = Array.make rank 1 in
+      List.iteri
+        (fun i e ->
+          let d = rank - 1 - i in
+          if d >= 0 then b.(d) <- e)
+        dims;
+      Some b
+    | None -> base.block
+  in
+  let unroll =
+    if pr.unroll = [] then base.unroll
+    else begin
+      let u = Array.make rank 1 in
+      List.iter
+        (fun (it, f) ->
+          match dim_index it with
+          | Some d -> u.(d) <- f
+          | None -> ())
+        pr.unroll;
+      Some u
+    end
+  in
+  { base with scheme; block; unroll; target_occupancy = pr.occupancy }

@@ -1,0 +1,33 @@
+(** Resource assignment: which arrays to stage in shared memory or
+    registers and which to read from global memory (paper, Section II-B).
+
+    Automatic policy: inputs with reuse (read at more than one offset)
+    and fused-kernel intermediates are staged; single-use inputs and
+    low-rank (1-D) arrays stay in global memory.  The [#assign] clauses
+    override the policy, and an [occupancy t] target triggers the
+    demotion loop: while the shared footprint caps occupancy below the
+    target, demote the staged array with the fewest reads per point. *)
+
+(** Automatic staging map, before user overrides. *)
+val automatic :
+  Artemis_dsl.Instantiate.kernel ->
+  (string * Artemis_dsl.Ast.placement) list
+
+(** Layer the kernel's [#assign] clauses over a map. *)
+val with_user :
+  Artemis_dsl.Instantiate.kernel ->
+  (string * Artemis_dsl.Ast.placement) list ->
+  (string * Artemis_dsl.Ast.placement) list
+
+(** Demote until [target] occupancy is reachable (user-pinned arrays are
+    never demoted); returns the final map. *)
+val ration :
+  Artemis_ir.Plan.t -> user_pinned:string list -> target:float ->
+  (string * Artemis_dsl.Ast.placement) list ->
+  (string * Artemis_dsl.Ast.placement) list
+
+(** The full assignment for a plan skeleton: automatic policy, user
+    overrides when [honor_user], then occupancy-targeted rationing. *)
+val assign :
+  Artemis_ir.Plan.t -> honor_user:bool -> target_occupancy:float option ->
+  (string * Artemis_dsl.Ast.placement) list

@@ -1,0 +1,56 @@
+(* Statement decomposition and retiming (paper, Section III-B2).
+
+   Decomposition splits each grid-writing statement's RHS into its
+   top-level additive terms and emits them as an assignment followed by
+   accumulations.  Retiming then checks each term is homogenizable — all
+   array reads in it share one offset along the streaming dimension — so
+   the generated code can fold the term into a register accumulator when
+   the corresponding input plane arrives, instead of buffering the whole
+   plane window.  The transformation here produces the decomposed body
+   (semantically equal up to floating-point reassociation); the staging
+   and traffic consequences are modelled by the plan's [retime] flag. *)
+
+module A = Artemis_dsl.Ast
+module An = Artemis_dsl.Analysis
+module I = Artemis_dsl.Instantiate
+
+let neg_term t = A.Neg t
+
+(** Decompose one statement into an assignment plus accumulations, one per
+    additive term.  Statements with a single term are left untouched. *)
+let decompose_stmt (st : A.stmt) =
+  match st with
+  | A.Decl_temp _ -> [ st ]
+  | A.Assign (a, idx, e) -> (
+    match An.decompose_sum e with
+    | [] | [ _ ] -> [ st ]
+    | (sign1, t1) :: rest ->
+      A.Assign (a, idx, if sign1 then t1 else neg_term t1)
+      :: List.map
+           (fun (sign, t) -> A.Accum (a, idx, if sign then t else neg_term t))
+           rest)
+  | A.Accum (a, idx, e) -> (
+    match An.decompose_sum e with
+    | [] | [ _ ] -> [ st ]
+    | terms ->
+      List.map
+        (fun (sign, t) -> A.Accum (a, idx, if sign then t else neg_term t))
+        terms)
+
+(** Decomposed form of a kernel body (used before retiming and by kernel
+    fission to split accumulation chains). *)
+let decompose_kernel (k : I.kernel) =
+  { k with body = List.concat_map decompose_stmt k.body }
+
+(** [retimable k dim] — every decomposed sub-statement homogenizes along
+    [dim] (ARTEMIS retimes only in that case, Section III-B2). *)
+let retimable (k : I.kernel) ~dim =
+  An.kernel_retimable (decompose_kernel k) dim
+
+(** Apply decomposition when the kernel is retimable along the iterator of
+    streaming dimension [dim_index]; returns [None] when not retimable so
+    the caller leaves the plan's retime flag off. *)
+let apply (k : I.kernel) ~dim_index =
+  match List.nth_opt k.iters dim_index with
+  | None -> None
+  | Some dim -> if retimable k ~dim then Some (decompose_kernel k) else None

@@ -1,0 +1,91 @@
+(** ARTEMIS facade: the paper's Section VII end-to-end flow, plus
+    re-exports of every sub-library a user program needs.
+
+    {[
+      let prog = Artemis.parse_file "jacobi.stc" in
+      let r = Artemis.optimize_kernel (Artemis.first_kernel prog) in
+      print_string (Artemis.cuda_of r)
+    ]} *)
+
+module Ast = Artemis_dsl.Ast
+module Parser = Artemis_dsl.Parser
+module Check = Artemis_dsl.Check
+module Instantiate = Artemis_dsl.Instantiate
+module Analysis = Artemis_dsl.Analysis
+module Pretty = Artemis_dsl.Pretty
+module Device = Artemis_gpu.Device
+module Counters = Artemis_gpu.Counters
+module Plan = Artemis_ir.Plan
+module Validate = Artemis_ir.Validate
+module Estimate = Artemis_ir.Estimate
+module Analytic = Artemis_exec.Analytic
+module Reference = Artemis_exec.Reference
+module Kernel_exec = Artemis_exec.Kernel_exec
+module Runner = Artemis_exec.Runner
+module Options = Artemis_codegen.Options
+module Lower = Artemis_codegen.Lower
+module Cuda = Artemis_codegen.Cuda_emit
+module Classify = Artemis_profile.Classify
+module Differencing = Artemis_profile.Differencing
+module Hints = Artemis_profile.Hints
+module Report = Artemis_profile.Report
+module Hierarchical = Artemis_tune.Hierarchical
+module Deep = Artemis_tune.Deep
+module Fusion = Artemis_fuse.Fusion
+module Fission = Artemis_fuse.Fission
+module Suite = Artemis_bench.Suite
+
+val version : string
+
+(** Parse and semantically check DSL source text.
+    @raise Parser.Parse_error / Check.Semantic_error *)
+val parse_string : string -> Ast.program
+
+val parse_file : string -> Ast.program
+
+(** The outcome of the end-to-end optimization flow (Section VII). *)
+type result = {
+  kernel : Instantiate.kernel;
+  baseline : Analytic.measurement;  (** pragma-driven baseline version *)
+  baseline_profile : Classify.profile;
+  tuned : Analytic.measurement;  (** hierarchical-autotuning winner *)
+  tuned_profile : Classify.profile;
+  hints : Hints.hint list;  (** the textual guidance of Section IV-A *)
+  fission_candidates : Instantiate.kernel list list;
+      (** trivial and recompute candidate sets when register-pressured *)
+  explored : int;  (** configurations measured during tuning *)
+  history : (string * float) list;  (** tuning trace: plan label -> TFLOPS *)
+}
+
+(** Classify a measurement and resolve ambiguity by code differencing. *)
+val profile_measurement : Analytic.measurement -> Classify.profile
+
+(** Optimize one kernel end to end: baseline from the pragma, profile,
+    prune, hierarchically autotune, profile the winner, emit hints and
+    fission candidates.  [iterative] enables the fusion guideline. *)
+val optimize_kernel :
+  ?device:Device.t -> ?iterative:bool -> ?opts:Options.t ->
+  Instantiate.kernel -> result
+
+type deep_result = {
+  deep : Deep.result;
+  schedule : int list;  (** fusion schedule for the program's own T *)
+  predicted_time : float;
+}
+
+(** Deep-tune an iterative ping-pong program (Section VI-A).
+    @raise Invalid_argument when the program has no ping-pong time loop *)
+val deep_tune :
+  ?device:Device.t -> ?opts:Options.t -> ?max_tile:int -> Ast.program ->
+  deep_result
+
+(** CUDA source of the tuned plan. *)
+val cuda_of : result -> string
+
+(** Human-readable optimization report (stencil characteristics, baseline
+    vs tuned measurements, bottlenecks, tuning trace, hints). *)
+val report_of : result -> string
+
+(** First kernel launched by a program (time loops flattened).
+    @raise Invalid_argument when the program launches nothing *)
+val first_kernel : Ast.program -> Instantiate.kernel

@@ -1,0 +1,1 @@
+lib/dsl/analysis.ml: Array Ast Hashtbl Instantiate List Obj Option String

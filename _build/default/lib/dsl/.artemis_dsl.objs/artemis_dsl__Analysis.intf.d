@@ -1,0 +1,1 @@
+lib/dsl/analysis.mli: Ast Hashtbl Instantiate

@@ -1,0 +1,1 @@
+lib/dsl/builder.ml: Ast Check List Option

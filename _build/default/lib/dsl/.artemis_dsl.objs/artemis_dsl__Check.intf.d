@@ -1,0 +1,1 @@
+lib/dsl/check.mli: Ast

@@ -1,0 +1,1 @@
+lib/dsl/depgraph.ml: Array Ast Hashtbl Instantiate List

@@ -1,0 +1,1 @@
+lib/dsl/depgraph.mli: Ast Instantiate

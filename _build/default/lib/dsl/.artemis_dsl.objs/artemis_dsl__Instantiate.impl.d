@@ -1,0 +1,1 @@
+lib/dsl/instantiate.ml: Array Ast Format List

@@ -1,0 +1,1 @@
+lib/dsl/instantiate.mli: Ast

@@ -1,0 +1,1 @@
+lib/dsl/pretty.ml: Ast Float Format List

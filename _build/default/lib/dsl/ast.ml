@@ -1,0 +1,164 @@
+(* Abstract syntax for the ARTEMIS minimal stencil DSL (paper, Section II).
+
+   Conventions used throughout the code base:
+   - iterators are declared outermost to innermost ([iterator k, j, i]), so
+     dimension 0 is the slowest varying (z / k) and the last dimension is the
+     fastest varying (x / i), matching C row-major array layout;
+   - array declarations list extents in the same order ([in\[L,M,N\]]);
+   - block sizes in pragmas are listed fastest dimension first ([block
+     (32,16)] means 32 threads along x and 16 along y), matching CUDA's
+     [dim3] convention and the paper's notation. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+
+(** An index expression in one dimension of an array access.  The DSL
+    restricts indices to the affine form [iterator + shift] or a bare
+    integer constant ([iter = None]). *)
+type index = {
+  iter : string option;
+  shift : int;
+}
+
+type expr =
+  | Const of float
+  | Scalar_ref of string  (** scalar parameter, argument, or local temporary *)
+  | Access of string * index list  (** array element, e.g. [A\[k\]\[j\]\[i+1\]] *)
+  | Neg of expr
+  | Bin of binop * expr * expr
+  | Call of string * expr list  (** math intrinsic: sqrt, fabs, min, max, ... *)
+
+type stmt =
+  | Decl_temp of string * expr  (** [double c = e;] — per-point temporary *)
+  | Assign of string * index list * expr  (** [A\[...\] = e;] *)
+  | Accum of string * index list * expr  (** [A\[...\] += e;] *)
+
+(** GPU storage classes a domain expert can request with [#assign]
+    (paper, Section II-B1). *)
+type placement =
+  | Shmem  (** stage in shared memory *)
+  | Gmem  (** read directly from global memory *)
+  | Regs  (** keep in per-thread registers *)
+  | Cmem  (** constant memory *)
+
+(** Auxiliary per-stencil code generation guidance (paper, Listing 1 line 5
+    and Section II-B2).  All fields are optional: ARTEMIS picks defaults and
+    the autotuner overrides them. *)
+type pragma = {
+  stream_dim : string option;  (** iterator to stream along serially *)
+  block : int list option;  (** thread block extents, fastest dim first *)
+  unroll : (string * int) list;  (** per-iterator unroll factors *)
+  occupancy : float option;  (** target occupancy in (0, 1] *)
+}
+
+let empty_pragma = { stream_dim = None; block = None; unroll = []; occupancy = None }
+
+type stencil_def = {
+  sname : string;
+  formals : string list;  (** formal parameters, bound at the call site *)
+  body : stmt list;
+  assign : (placement * string list) list;  (** [#assign] clauses on formals *)
+  pragma : pragma;
+}
+
+(** Extent of one array dimension: a named size parameter or a constant. *)
+type dim_expr =
+  | Dparam of string
+  | Dconst of int
+
+type decl =
+  | Array_decl of string * dim_expr list
+  | Scalar_decl of string
+
+(** One step of the host-side driver portion of the program. *)
+type app_item =
+  | Apply of string * string list  (** stencil invocation with actual args *)
+  | Swap of string * string  (** ping-pong buffer exchange between steps *)
+
+type host_item =
+  | Run of app_item
+  | Iterate of int * app_item list  (** [iterate n { ... }] time loop *)
+
+type program = {
+  params : (string * int) list;  (** size parameters with default values *)
+  iters : string list;  (** iterators, outermost first *)
+  decls : decl list;
+  copyin : string list;
+  stencils : stencil_def list;
+  main : host_item list;
+  copyout : string list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Small structural helpers shared by later phases.                    *)
+(* ------------------------------------------------------------------ *)
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+
+let placement_to_string = function
+  | Shmem -> "shmem"
+  | Gmem -> "gmem"
+  | Regs -> "regs"
+  | Cmem -> "cmem"
+
+let index ?iter shift = { iter; shift }
+
+(** [subst_names mapping e] renames scalar and array identifiers in [e]
+    according to [mapping] (used to bind stencil formals to actuals). *)
+let rec subst_names mapping e =
+  let rename n = match List.assoc_opt n mapping with Some n' -> n' | None -> n in
+  match e with
+  | Const _ -> e
+  | Scalar_ref n -> Scalar_ref (rename n)
+  | Access (a, idx) -> Access (rename a, idx)
+  | Neg e1 -> Neg (subst_names mapping e1)
+  | Bin (op, e1, e2) -> Bin (op, subst_names mapping e1, subst_names mapping e2)
+  | Call (f, args) -> Call (f, List.map (subst_names mapping) args)
+
+let subst_stmt mapping = function
+  | Decl_temp (n, e) -> Decl_temp (n, subst_names mapping e)
+  | Assign (a, idx, e) ->
+    let a' = match List.assoc_opt a mapping with Some x -> x | None -> a in
+    Assign (a', idx, subst_names mapping e)
+  | Accum (a, idx, e) ->
+    let a' = match List.assoc_opt a mapping with Some x -> x | None -> a in
+    Accum (a', idx, subst_names mapping e)
+
+(** Fold over every expression contained in a statement. *)
+let fold_stmt_exprs f acc = function
+  | Decl_temp (_, e) | Assign (_, _, e) | Accum (_, _, e) -> f acc e
+
+(** Fold [f] over every sub-expression of [e], outermost first. *)
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Const _ | Scalar_ref _ | Access _ -> acc
+  | Neg e1 -> fold_expr f acc e1
+  | Bin (_, e1, e2) -> fold_expr f (fold_expr f acc e1) e2
+  | Call (_, args) -> List.fold_left (fold_expr f) acc args
+
+(** Array names written by a statement, if any. *)
+let written_array = function
+  | Decl_temp _ -> None
+  | Assign (a, _, _) | Accum (a, _, _) -> Some a
+
+(** All [(array, indices)] reads inside an expression. *)
+let reads_of_expr e =
+  fold_expr
+    (fun acc e -> match e with Access (a, idx) -> (a, idx) :: acc | _ -> acc)
+    [] e
+  |> List.rev
+
+(** All scalar references inside an expression. *)
+let scalars_of_expr e =
+  fold_expr
+    (fun acc e -> match e with Scalar_ref s -> s :: acc | _ -> acc)
+    [] e
+  |> List.rev

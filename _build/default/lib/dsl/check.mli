@@ -1,0 +1,12 @@
+(** Semantic checking of parsed DSL programs: name resolution, arity and
+    rank consistency, iterator discipline (declared, ordered, unrepeated
+    within one access), intrinsic arities, [#assign] targets, and call
+    sites.  Later phases may assume a checked program is well-formed. *)
+
+exception Semantic_error of string
+
+(** @raise Semantic_error with a readable message on the first violation. *)
+val check : Ast.program -> unit
+
+(** Math intrinsics accepted in stencil bodies, with arities. *)
+val intrinsics : (string * int) list

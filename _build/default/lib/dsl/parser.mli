@@ -1,0 +1,14 @@
+(** Recursive-descent parser for the stencil DSL (paper Listing 1 plus
+    the ARTEMIS extensions: [#assign] resource assignment and the
+    [occupancy] pragma clause). *)
+
+exception Parse_error of string * int  (** message, line *)
+
+(** Parse a full DSL program from source text.  Negated numeric literals
+    fold into constants so pretty-printing round-trips.
+    @raise Parse_error on syntax errors
+    @raise Lexer.Lex_error on lexical errors *)
+val parse_program : string -> Ast.program
+
+(** Parse a single expression (tests and the builder API). *)
+val parse_expr_string : string -> Ast.expr

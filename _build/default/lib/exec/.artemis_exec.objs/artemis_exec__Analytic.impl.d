@@ -1,0 +1,1 @@
+lib/exec/analytic.ml: Artemis_gpu Artemis_ir Format Kernel_exec Traffic

@@ -1,0 +1,1 @@
+lib/exec/analytic.mli: Artemis_gpu Artemis_ir Format

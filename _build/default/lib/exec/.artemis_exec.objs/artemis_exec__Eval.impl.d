@@ -1,0 +1,1 @@
+lib/exec/eval.ml: Array Artemis_dsl Float Grid List String

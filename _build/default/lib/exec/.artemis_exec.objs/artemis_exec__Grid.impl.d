@@ -1,0 +1,1 @@
+lib/exec/grid.ml: Array Float

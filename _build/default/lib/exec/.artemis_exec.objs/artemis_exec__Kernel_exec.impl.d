@@ -1,0 +1,1 @@
+lib/exec/kernel_exec.ml: Array Artemis_dsl Artemis_gpu Artemis_ir Eval Fun Grid Hashtbl List Printf Reference Traffic

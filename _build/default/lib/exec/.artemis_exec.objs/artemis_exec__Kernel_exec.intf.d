@@ -1,0 +1,1 @@
+lib/exec/kernel_exec.mli: Artemis_gpu Artemis_ir Reference

@@ -1,0 +1,1 @@
+lib/exec/reference.ml: Array Artemis_dsl Eval Grid Hashtbl List

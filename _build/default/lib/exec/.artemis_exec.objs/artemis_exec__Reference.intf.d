@@ -1,0 +1,1 @@
+lib/exec/reference.mli: Artemis_dsl Grid Hashtbl

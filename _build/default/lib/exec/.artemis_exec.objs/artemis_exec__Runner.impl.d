@@ -1,0 +1,1 @@
+lib/exec/runner.ml: Analytic Artemis_dsl Artemis_gpu Artemis_ir Hashtbl Kernel_exec List Reference

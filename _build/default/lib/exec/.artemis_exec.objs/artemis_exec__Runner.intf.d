@@ -1,0 +1,1 @@
+lib/exec/runner.mli: Artemis_dsl Artemis_gpu Artemis_ir Reference

@@ -1,0 +1,1 @@
+lib/exec/traffic.ml: Array Artemis_dsl Artemis_gpu Artemis_ir Float Fun Hashtbl List

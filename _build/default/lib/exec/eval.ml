@@ -1,0 +1,77 @@
+(* Expression evaluation at a domain point: shared by the reference
+   executor and the block executor so both compute identical values. *)
+
+module A = Artemis_dsl.Ast
+
+exception Out_of_bounds
+
+type env = {
+  lookup_array : string -> Grid.t;  (** concrete array storage *)
+  lookup_scalar : string -> float;  (** runtime scalar arguments *)
+  lookup_temp : string -> float;  (** per-point temporaries (raises Not_found) *)
+  iters : string list;  (** kernel iterators, outermost first *)
+}
+
+(** Absolute coordinates of an access at domain point [point]: each array
+    dimension indexed by [iterator + shift] resolves against the point's
+    component for that iterator; constant indices resolve as-is. *)
+let access_coords env (point : int array) (idx : A.index list) =
+  let coords = Array.make (List.length idx) 0 in
+  List.iteri
+    (fun d (i : A.index) ->
+      match i.iter with
+      | None -> coords.(d) <- i.shift
+      | Some it -> (
+        match List.find_index (String.equal it) env.iters with
+        | Some dim -> coords.(d) <- point.(dim) + i.shift
+        | None -> invalid_arg ("unbound iterator " ^ it)))
+    idx;
+  coords
+
+let apply_intrinsic f args =
+  match (f, args) with
+  | "sqrt", [ x ] -> sqrt x
+  | "fabs", [ x ] -> Float.abs x
+  | "exp", [ x ] -> exp x
+  | "log", [ x ] -> log x
+  | "sin", [ x ] -> sin x
+  | "cos", [ x ] -> cos x
+  | "min", [ x; y ] -> Float.min x y
+  | "max", [ x; y ] -> Float.max x y
+  | "pow", [ x; y ] -> Float.pow x y
+  | "fma", [ x; y; z ] -> Float.fma x y z
+  | _ -> invalid_arg ("unknown intrinsic " ^ f)
+
+(** Evaluate [e] at [point].
+    @raise Out_of_bounds when any array read falls outside its grid (the
+    caller treats the statement as guarded off at this point). *)
+let rec eval env point (e : A.expr) =
+  match e with
+  | A.Const f -> f
+  | A.Scalar_ref s -> (
+    match env.lookup_temp s with
+    | v -> v
+    | exception Not_found -> env.lookup_scalar s)
+  | A.Access (a, idx) ->
+    let g = env.lookup_array a in
+    let coords = access_coords env point idx in
+    if Grid.in_bounds g coords then Grid.get g coords else raise Out_of_bounds
+  | A.Neg e1 -> -.eval env point e1
+  | A.Bin (op, e1, e2) -> (
+    let v1 = eval env point e1 in
+    let v2 = eval env point e2 in
+    match op with
+    | A.Add -> v1 +. v2
+    | A.Sub -> v1 -. v2
+    | A.Mul -> v1 *. v2
+    | A.Div -> v1 /. v2)
+  | A.Call (f, args) -> apply_intrinsic f (List.map (eval env point) args)
+
+(** True when every array read of [e] at [point] is in bounds — the guard
+    the generated CUDA emits around each statement. *)
+let guard env point (e : A.expr) =
+  List.for_all
+    (fun (a, idx) ->
+      let g = env.lookup_array a in
+      Grid.in_bounds g (access_coords env point idx))
+    (A.reads_of_expr e)

@@ -1,0 +1,25 @@
+(** Expression evaluation at a domain point — shared by the reference
+    executor and the block executor so both compute identical values. *)
+
+(** Raised when an array read falls outside its grid; callers treat the
+    statement as guarded off at that point. *)
+exception Out_of_bounds
+
+type env = {
+  lookup_array : string -> Grid.t;  (** concrete array storage *)
+  lookup_scalar : string -> float;  (** runtime scalar arguments *)
+  lookup_temp : string -> float;  (** per-point temporaries; raises [Not_found] *)
+  iters : string list;  (** kernel iterators, outermost first *)
+}
+
+(** Absolute coordinates of an access at a domain point. *)
+val access_coords : env -> int array -> Artemis_dsl.Ast.index list -> int array
+
+val apply_intrinsic : string -> float list -> float
+
+(** Evaluate at a point. @raise Out_of_bounds per above. *)
+val eval : env -> int array -> Artemis_dsl.Ast.expr -> float
+
+(** All array reads of the expression are in bounds at the point — the
+    guard the generated CUDA emits. *)
+val guard : env -> int array -> Artemis_dsl.Ast.expr -> bool

@@ -1,0 +1,207 @@
+(* Block-level execution of a kernel plan over simulated global memory.
+
+   Values: each thread block sweeps the statements of the (possibly fused)
+   body over its output tile extended by the per-statement recomputation
+   halo — exactly the redundant work overlapped tiling performs.  Guards
+   are the same in-bounds checks the reference executor applies, so a
+   valid plan produces bit-identical final outputs.
+
+   Temporaries and shared-staged intermediates live in scratch grids that
+   blocks recompute redundantly; because every such value is a pure
+   function of the kernel inputs, overlapping blocks write identical
+   values and the scratch can be shared across blocks.  (Validation
+   rejects bodies whose intermediates start with an accumulation, the one
+   pattern where re-execution would double-count.)
+
+   Counters come from [Traffic] — the same accounting the analytic
+   evaluator uses — so executing and analysing a plan agree exactly. *)
+
+module A = Artemis_dsl.Ast
+module Plan = Artemis_ir.Plan
+module Launch = Artemis_ir.Launch
+module Validate = Artemis_ir.Validate
+module Counters = Artemis_gpu.Counters
+
+exception Unsupported of string
+
+(* Reject bodies where an intermediate's first write is an accumulation:
+   overlapped re-execution would not be idempotent. *)
+let check_idempotent (k : Artemis_dsl.Instantiate.kernel) =
+  let first_write = Hashtbl.create 8 in
+  List.iter
+    (fun st ->
+      match A.written_array st with
+      | Some a ->
+        if not (Hashtbl.mem first_write a) then
+          Hashtbl.replace first_write a
+            (match st with A.Accum _ -> `Accum | A.Assign _ | A.Decl_temp _ -> `Assign)
+      | None -> ())
+    k.body;
+  let inter = Launch.intermediates k in
+  List.iter
+    (fun a ->
+      match Hashtbl.find_opt first_write a with
+      | Some `Accum ->
+        raise
+          (Unsupported
+             (Printf.sprintf
+                "intermediate %s first written by '+='; overlapped tiling cannot \
+                 re-execute it idempotently" a))
+      | Some `Assign | None -> ())
+    inter
+
+(** Execute [plan] on the arrays in [store], updating final outputs (and
+    global-placed intermediates) in place, and return the launch counters. *)
+let run (plan : Plan.t) (store : Reference.store) ~scalars =
+  Validate.check plan;
+  check_idempotent plan.kernel;
+  let ctx = Traffic.make_ctx plan in
+  let k = plan.kernel in
+  let rank = ctx.geom.rank in
+  let inter = Launch.intermediates k in
+  let finals = Launch.final_outputs k in
+  (* Scratch for temporaries and shared-staged intermediates: full-domain
+     grids, zero-initialized once; blocks recompute pure values in place. *)
+  let scratch : (string, Grid.t) Hashtbl.t = Hashtbl.create 8 in
+  let scratch_for name =
+    match Hashtbl.find_opt scratch name with
+    | Some g -> g
+    | None ->
+      (* An intermediate backed by a store array inherits its contents:
+         points a sweep's guard skips keep their previous values, exactly
+         as the reference's whole-array sweeps leave them. *)
+      let g =
+        match Hashtbl.find_opt store name with
+        | Some backing when List.mem_assoc name k.arrays -> Grid.copy backing
+        | Some _ | None -> Grid.create k.domain
+      in
+      Hashtbl.replace scratch name g;
+      g
+  in
+  let overlay : (string, Grid.t) Hashtbl.t = Hashtbl.create 4 in
+  let global_array name =
+    match Hashtbl.find_opt store name with
+    | Some g -> g
+    | None -> (
+      match Hashtbl.find_opt overlay name with
+      | Some g -> g
+      | None -> (
+        match List.assoc_opt name k.arrays with
+        | Some dims ->
+          let g = Grid.create dims in
+          Hashtbl.replace overlay name g;
+          g
+        | None -> Reference.find_array store name))
+  in
+  let inter_in_global name =
+    match List.find_opt (fun (b : Launch.buffer) -> b.array = name) ctx.bufs with
+    | Some b -> (
+      match b.staging with
+      | Launch.Stage_global -> true
+      | Launch.Stage_const | Launch.Stage_tile _ | Launch.Stage_stream _
+      | Launch.Stage_fold_member _ -> false)
+    | None -> true
+  in
+  let scalar_value s =
+    match List.assoc_opt s scalars with
+    | Some v -> v
+    | None -> invalid_arg ("Kernel_exec: unbound scalar " ^ s)
+  in
+  let env_point = ref [||] in
+  let env =
+    {
+      Eval.lookup_array =
+        (fun a ->
+          if Hashtbl.mem scratch a then Hashtbl.find scratch a
+          else global_array a);
+      lookup_scalar = scalar_value;
+      lookup_temp =
+        (fun t ->
+          match Hashtbl.find_opt scratch t with
+          | Some g when not (List.mem_assoc t k.arrays) -> Grid.get g !env_point
+          | Some _ | None -> raise Not_found);
+      iters = k.iters;
+    }
+  in
+  (* Pre-create scratch for temps and shared intermediates so lookups during
+     evaluation resolve to scratch, not stale store contents. *)
+  List.iter
+    (fun st ->
+      match st with
+      | A.Decl_temp (n, _) -> ignore (scratch_for n)
+      | A.Assign (a, _, _) | A.Accum (a, _, _) ->
+        if List.mem a inter && not (inter_in_global a) then ignore (scratch_for a))
+    k.body;
+  let exec_block (block : int array) =
+    let tile = Traffic.tile_box ctx block in
+    if Traffic.box_volume tile > 0 then
+      List.iter
+        (fun (si : Traffic.stmt_info) ->
+          let region = Traffic.extend_clip ctx tile si.region_ext in
+          let point = Array.make rank 0 in
+          let rec sweep d =
+            if d = rank then begin
+              env_point := point;
+              match si.stmt with
+              | A.Decl_temp (n, e) ->
+                if Eval.guard env point e then
+                  Grid.set (scratch_for n) point (Eval.eval env point e)
+              | A.Assign (a, idx, e) ->
+                let target =
+                  if List.mem a finals || inter_in_global a then global_array a
+                  else scratch_for a
+                in
+                let w = Eval.access_coords env point idx in
+                let in_tile =
+                  (* Finals are only stored by the owning block. *)
+                  (not (List.mem a finals))
+                  || Array.for_all
+                       (fun d -> fst tile.(d) <= point.(d) && point.(d) <= snd tile.(d))
+                       (Array.init rank Fun.id)
+                in
+                if in_tile && Grid.in_bounds target w && Eval.guard env point e then begin
+                  let v = Eval.eval env point e in
+                  Grid.set target w v;
+                  (* Global intermediates also feed later statements via the
+                     same storage, which the env lookup already resolves. *)
+                  if List.mem a inter && not (inter_in_global a) then ()
+                end
+              | A.Accum (a, idx, e) ->
+                let target =
+                  if List.mem a finals || inter_in_global a then global_array a
+                  else scratch_for a
+                in
+                let w = Eval.access_coords env point idx in
+                let in_tile =
+                  (not (List.mem a finals))
+                  || Array.for_all
+                       (fun d -> fst tile.(d) <= point.(d) && point.(d) <= snd tile.(d))
+                       (Array.init rank Fun.id)
+                in
+                if in_tile && Grid.in_bounds target w && Eval.guard env point e then
+                  Grid.set target w (Grid.get target w +. Eval.eval env point e)
+            end
+            else begin
+              let lo, hi = region.(d) in
+              for c = lo to hi do
+                point.(d) <- c;
+                sweep (d + 1)
+              done
+            end
+          in
+          sweep 0)
+        ctx.stmts
+  in
+  (* Global intermediates: redundant halo stores mean later blocks rewrite
+     the same pure values — harmless, as in the real generated code. *)
+  let block = Array.make rank 0 in
+  let rec launch d =
+    if d = rank then exec_block (Array.copy block)
+    else
+      for c = 0 to ctx.geom.grid.(d) - 1 do
+        block.(d) <- c;
+        launch (d + 1)
+      done
+  in
+  launch 0;
+  Traffic.total_counters ctx

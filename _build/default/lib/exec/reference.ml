@@ -1,0 +1,152 @@
+(* Reference sequential executor: the semantic ground truth every
+   generated plan must match.
+
+   Kernel-body semantics: each statement is a whole-domain sweep executed
+   in order (the stencil-DAG reading of multi-statement bodies, Figure 3);
+   per-point temporaries are materialized as full grids so several later
+   statements can consume them, exactly as the dependence graph implies.
+   A statement executes at a point iff all its array reads and its write
+   are in bounds — the same guard the generated CUDA emits — so boundary
+   cells keep their previous contents. *)
+
+module A = Artemis_dsl.Ast
+module I = Artemis_dsl.Instantiate
+
+type store = (string, Grid.t) Hashtbl.t
+
+let find_array (store : store) name =
+  match Hashtbl.find_opt store name with
+  | Some g -> g
+  | None -> invalid_arg ("Reference: unbound array " ^ name)
+
+(* Iterate over every point of [domain], calling [f point].  The [point]
+   array is reused across calls. *)
+let iter_domain domain f =
+  let r = Array.length domain in
+  let point = Array.make r 0 in
+  let rec go d =
+    if d = r then f point
+    else
+      for c = 0 to domain.(d) - 1 do
+        point.(d) <- c;
+        go (d + 1)
+      done
+  in
+  go 0
+
+(** Execute one kernel over the arrays in [store], with [scalars] giving
+    runtime scalar values.  Kernel arrays absent from the store (the
+    scratch intermediates of fused kernels) are materialized locally,
+    zero-initialized. *)
+let run_kernel (store : store) ~scalars (k : I.kernel) =
+  let temps : (string, Grid.t) Hashtbl.t = Hashtbl.create 8 in
+  let overlay : (string, Grid.t) Hashtbl.t = Hashtbl.create 4 in
+  let resolve_array a =
+    match Hashtbl.find_opt store a with
+    | Some g -> g
+    | None -> (
+      match Hashtbl.find_opt overlay a with
+      | Some g -> g
+      | None -> (
+        match List.assoc_opt a k.arrays with
+        | Some dims ->
+          let g = Grid.create dims in
+          Hashtbl.replace overlay a g;
+          g
+        | None -> invalid_arg ("Reference: unbound array " ^ a)))
+  in
+  let scalar_value s =
+    match List.assoc_opt s scalars with
+    | Some v -> v
+    | None -> invalid_arg ("Reference: unbound scalar " ^ s)
+  in
+  let env_point = ref [||] in
+  let env =
+    {
+      Eval.lookup_array =
+        (fun a ->
+          match Hashtbl.find_opt temps a with
+          | Some g -> g
+          | None -> resolve_array a);
+      lookup_scalar = scalar_value;
+      lookup_temp =
+        (fun t ->
+          match Hashtbl.find_opt temps t with
+          | Some g -> Grid.get g !env_point
+          | None -> raise Not_found);
+      iters = k.iters;
+    }
+  in
+  let run_sweep stmt =
+    match stmt with
+    | A.Decl_temp (name, e) ->
+      let g = Grid.create k.domain in
+      Hashtbl.replace temps name g;
+      iter_domain k.domain (fun point ->
+          env_point := point;
+          if Eval.guard env point e then Grid.set g point (Eval.eval env point e))
+    | A.Assign (a, idx, e) ->
+      let g = resolve_array a in
+      iter_domain k.domain (fun point ->
+          env_point := point;
+          let w = Eval.access_coords env point idx in
+          if Grid.in_bounds g w && Eval.guard env point e then
+            Grid.set g w (Eval.eval env point e))
+    | A.Accum (a, idx, e) ->
+      let g = resolve_array a in
+      iter_domain k.domain (fun point ->
+          env_point := point;
+          let w = Eval.access_coords env point idx in
+          if Grid.in_bounds g w && Eval.guard env point e then
+            Grid.set g w (Grid.get g w +. Eval.eval env point e))
+  in
+  List.iter run_sweep k.body
+
+(** Execute a whole instantiated schedule (launches, swaps, time loops).
+    Swaps exchange grid bindings, the ping-pong idiom of iterative
+    stencils. *)
+let rec run_schedule (store : store) ~scalars items =
+  List.iter
+    (function
+      | I.Launch k -> run_kernel store ~scalars k
+      | I.Exchange (a, b) ->
+        let ga = find_array store a and gb = find_array store b in
+        Hashtbl.replace store a gb;
+        Hashtbl.replace store b ga
+      | I.Repeat (n, sub) ->
+        for _ = 1 to n do
+          run_schedule store ~scalars sub
+        done)
+    items
+
+(** Build a store for a program: every declared array gets a grid filled
+    with the deterministic test pattern; scalars get small values keyed by
+    name so different scalars are distinguishable. *)
+let store_of_program (prog : A.program) =
+  let store : store = Hashtbl.create 16 in
+  let seed = ref 0 in
+  List.iter
+    (function
+      | A.Array_decl (name, _) ->
+        incr seed;
+        let dims =
+          match I.array_dims prog name with
+          | Some d -> d
+          | None -> assert false
+        in
+        let g = Grid.create dims in
+        Grid.init_pattern ~seed:!seed g;
+        Hashtbl.replace store name g
+      | A.Scalar_decl _ -> ())
+    prog.decls;
+  store
+
+let scalars_of_program (prog : A.program) =
+  let n = ref 0 in
+  List.filter_map
+    (function
+      | A.Scalar_decl name ->
+        incr n;
+        Some (name, 0.31 +. (0.07 *. float_of_int !n))
+      | A.Array_decl _ -> None)
+    prog.decls

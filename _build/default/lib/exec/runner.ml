@@ -1,0 +1,97 @@
+(* End-to-end runner: executes a configured schedule — the host-side
+   sequence of kernel launches, buffer swaps, and time loops — either
+   analytically (timing + counters, full size) or with data (values +
+   counters, test sizes). *)
+
+module A = Artemis_dsl.Ast
+module I = Artemis_dsl.Instantiate
+module Plan = Artemis_ir.Plan
+module Counters = Artemis_gpu.Counters
+
+(** A schedule whose kernels carry concrete plans. *)
+type step =
+  | Run_plan of Plan.t
+  | Swap of string * string
+  | Loop of int * step list
+
+type outcome = {
+  counters : Counters.t;
+  time_s : float;
+  tflops : float;
+  launches : int;
+}
+
+(** Configure an instantiated schedule with one plan per kernel, chosen by
+    [plan_of]. *)
+let rec configure ~plan_of (items : I.sched_item list) : step list =
+  List.map
+    (function
+      | I.Launch k -> Run_plan (plan_of k)
+      | I.Exchange (a, b) -> Swap (a, b)
+      | I.Repeat (n, sub) -> Loop (n, configure ~plan_of sub))
+    items
+
+(** Analytic execution: sum per-launch counters and times. *)
+let measure_schedule (steps : step list) =
+  let counters = ref Counters.zero in
+  let time = ref 0.0 in
+  let launches = ref 0 in
+  let rec go steps =
+    List.iter
+      (function
+        | Run_plan p ->
+          let m = Analytic.measure p in
+          counters := Counters.add !counters m.counters;
+          time := !time +. m.time_s;
+          incr launches
+        | Swap _ -> ()
+        | Loop (n, sub) ->
+          for _ = 1 to n do
+            go sub
+          done)
+      steps
+  in
+  go steps;
+  let c = !counters in
+  {
+    counters = c;
+    time_s = !time;
+    tflops = (if !time > 0.0 then c.useful_flops /. !time /. 1e12 else 0.0);
+    launches = !launches;
+  }
+
+(** Data execution over a store (swaps rebind grids, as the host code's
+    pointer exchange does). *)
+let run_schedule (steps : step list) (store : Reference.store) ~scalars =
+  let counters = ref Counters.zero in
+  let launches = ref 0 in
+  let rec go steps =
+    List.iter
+      (function
+        | Run_plan p ->
+          counters := Counters.add !counters (Kernel_exec.run p store ~scalars);
+          incr launches
+        | Swap (a, b) ->
+          let ga = Reference.find_array store a and gb = Reference.find_array store b in
+          Hashtbl.replace store a gb;
+          Hashtbl.replace store b ga
+        | Loop (n, sub) ->
+          for _ = 1 to n do
+            go sub
+          done)
+      steps
+  in
+  go steps;
+  (!counters, !launches)
+
+(** Convenience: run a whole DSL program end to end with data, comparing
+    against nothing — callers pair it with [Reference.run_schedule]. *)
+let run_program ?(plan_of = fun k -> Plan.default Artemis_gpu.Device.p100 k)
+    (prog : A.program) =
+  Artemis_dsl.Check.check prog;
+  let sched = I.schedule prog in
+  let store = Reference.store_of_program prog in
+  let scalars = Reference.scalars_of_program prog in
+  let steps = configure ~plan_of sched in
+  let counters, launches = run_schedule steps store ~scalars in
+  (store, counters, launches)

@@ -1,0 +1,37 @@
+(** End-to-end runner: executes a configured schedule — kernel launches,
+    buffer swaps, time loops — analytically (timing + counters at full
+    size) or with data (values + counters at test sizes). *)
+
+(** A schedule whose kernels carry concrete plans. *)
+type step =
+  | Run_plan of Artemis_ir.Plan.t
+  | Swap of string * string
+  | Loop of int * step list
+
+type outcome = {
+  counters : Artemis_gpu.Counters.t;
+  time_s : float;
+  tflops : float;
+  launches : int;
+}
+
+(** Attach one plan per kernel, chosen by [plan_of]. *)
+val configure :
+  plan_of:(Artemis_dsl.Instantiate.kernel -> Artemis_ir.Plan.t) ->
+  Artemis_dsl.Instantiate.sched_item list -> step list
+
+(** Analytic execution: per-launch counters and times summed. *)
+val measure_schedule : step list -> outcome
+
+(** Data execution over a store (swaps rebind grids); returns total
+    counters and the launch count. *)
+val run_schedule :
+  step list -> Reference.store -> scalars:(string * float) list ->
+  Artemis_gpu.Counters.t * int
+
+(** Convenience: check, instantiate, and data-execute a whole program
+    with [plan_of] (default plans if omitted); returns the final store,
+    counters, and launch count. *)
+val run_program :
+  ?plan_of:(Artemis_dsl.Instantiate.kernel -> Artemis_ir.Plan.t) ->
+  Artemis_dsl.Ast.program -> Reference.store * Artemis_gpu.Counters.t * int

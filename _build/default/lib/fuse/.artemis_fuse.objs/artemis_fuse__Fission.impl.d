@@ -1,0 +1,1 @@
+lib/fuse/fission.ml: Array Artemis_dsl Artemis_gpu Artemis_ir List Printf

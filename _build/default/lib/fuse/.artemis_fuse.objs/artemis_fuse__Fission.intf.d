@@ -1,0 +1,1 @@
+lib/fuse/fission.mli: Artemis_dsl

@@ -1,0 +1,1 @@
+lib/fuse/fusion.ml: Artemis_dsl Format List Printf String

@@ -1,0 +1,1 @@
+lib/fuse/fusion.mli: Artemis_dsl

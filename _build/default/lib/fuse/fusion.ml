@@ -1,0 +1,154 @@
+(* Kernel fusion (paper, Section VI-A).
+
+   Temporal fusion of an iterative stencil turns the ping-pong pattern
+   [iterate T { S(out, in); swap(out, in) }] into launches of a fused
+   kernel that applies S x times per sweep, holding the x-1 intermediate
+   sweeps in on-chip scratch arrays.  Representing the fused kernel as an
+   ordinary multi-statement body lets every later phase (halo analysis,
+   staging, traffic, execution) treat temporal and spatial (DAG) fusion
+   uniformly: the recomputation halo appears automatically through
+   [Analysis.required_extents].
+
+   Spatial (DAG) fusion concatenates the bodies of same-domain kernels;
+   producer arrays become intermediates staged on chip. *)
+
+module A = Artemis_dsl.Ast
+module I = Artemis_dsl.Instantiate
+
+exception Fusion_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Fusion_error s)) fmt
+
+let intermediate_name base s = Printf.sprintf "__%s_t%d" base s
+
+(** [time_fuse k ~out ~inp ~f] — fuse [f] applications of the single-step
+    kernel [k] (which reads [inp] and writes [out]).  Steps 1..f-1 write
+    fresh intermediate arrays; step [s] reads step [s-1]'s output.  The
+    result is semantically the composition of [f] sweeps up to domain
+    boundary effects (intermediates are zero-initialized where a sweep's
+    guard fails, while the ping-pong original would retain stale buffer
+    contents there), so comparisons are meaningful on the deep interior. *)
+let time_fuse (k : I.kernel) ~out ~inp ~f =
+  if f < 1 then fail "time_fuse: non-positive fusion degree %d" f;
+  if not (List.mem_assoc out k.arrays) then fail "time_fuse: unknown output %s" out;
+  if not (List.mem_assoc inp k.arrays) then fail "time_fuse: unknown input %s" inp;
+  if f = 1 then { k with kname = k.kname }
+  else begin
+    let dims =
+      match List.assoc_opt out k.arrays with
+      | Some d -> d
+      | None -> assert false
+    in
+    let rename_temps s e =
+      (* Scalars that are local temporaries of the body need the step tag;
+         runtime scalar arguments must not be renamed. *)
+      let temps =
+        List.filter_map
+          (function A.Decl_temp (n, _) -> Some n | A.Assign _ | A.Accum _ -> None)
+          k.body
+      in
+      let mapping = List.map (fun t -> (t, Printf.sprintf "%s_s%d" t s)) temps in
+      A.subst_names mapping e
+    in
+    let step s =
+      (* step s in 1..f: reads prev, writes next *)
+      let prev = if s = 1 then inp else intermediate_name k.kname (s - 1) in
+      let next = if s = f then out else intermediate_name k.kname s in
+      let mapping = [ (inp, prev); (out, next) ] in
+      List.map
+        (fun st ->
+          match st with
+          | A.Decl_temp (n, e) ->
+            (* Temporaries get per-step names to avoid redefinition. *)
+            A.Decl_temp
+              (Printf.sprintf "%s_s%d" n s, rename_temps s (A.subst_names mapping e))
+          | A.Assign (a, idx, e) ->
+            let a' = match List.assoc_opt a mapping with Some x -> x | None -> a in
+            A.Assign (a', idx, rename_temps s (A.subst_names mapping e))
+          | A.Accum (a, idx, e) ->
+            let a' = match List.assoc_opt a mapping with Some x -> x | None -> a in
+            A.Accum (a', idx, rename_temps s (A.subst_names mapping e)))
+        k.body
+    in
+    let body = List.concat_map step (List.init f (fun i -> i + 1)) in
+    let inter_arrays =
+      List.init (f - 1) (fun i -> (intermediate_name k.kname (i + 1), dims))
+    in
+    {
+      k with
+      kname = Printf.sprintf "%s_x%d" k.kname f;
+      body;
+      arrays = k.arrays @ inter_arrays;
+    }
+  end
+
+(** Detect the ping-pong pattern in a schedule item: [Repeat (T, [Launch k;
+    Exchange (out, inp)])] with [k] writing [out] and reading [inp]. *)
+let pingpong_of_item = function
+  | I.Repeat (t, [ I.Launch k; I.Exchange (a, b) ]) ->
+    let written = List.filter_map A.written_array k.body in
+    if List.mem a written then Some (t, k, a, b)
+    else if List.mem b written then Some (t, k, b, a)
+    else None
+  | I.Repeat _ | I.Launch _ | I.Exchange _ -> None
+
+(** Replace a ping-pong time loop with fused launches following a fusion
+    [schedule] (segment sizes summing to the iteration count).  Each fused
+    launch is followed by one swap, preserving the result's final buffer
+    up to swap parity (callers compare the post-swap [inp] buffer). *)
+let fuse_pingpong (t, k, out, inp) ~schedule =
+  let total = List.fold_left ( + ) 0 schedule in
+  if total <> t then fail "fusion schedule covers %d of %d iterations" total t;
+  List.concat_map
+    (fun x -> [ I.Launch (time_fuse k ~out ~inp ~f:x); I.Exchange (out, inp) ])
+    schedule
+
+(** Spatial DAG fusion: concatenate same-domain kernels in dependence
+    order.  Arrays written by one and read by a later one become
+    intermediates of the fused kernel. *)
+let fuse_dag (kernels : I.kernel list) =
+  match kernels with
+  | [] -> fail "fuse_dag: empty kernel list"
+  | first :: rest ->
+    List.iter
+      (fun (k : I.kernel) ->
+        if k.domain <> first.domain then
+          fail "fuse_dag: %s has a different domain than %s" k.kname first.kname)
+      rest;
+    let union_assoc a b =
+      List.fold_left
+        (fun acc (key, v) -> if List.mem_assoc key acc then acc else (key, v) :: acc)
+        a b
+    in
+    (* Temporaries must not collide across kernels. *)
+    let tag i (k : I.kernel) =
+      let temps =
+        List.filter_map
+          (function A.Decl_temp (n, _) -> Some n | A.Assign _ | A.Accum _ -> None)
+          k.body
+      in
+      let mapping = List.map (fun t -> (t, Printf.sprintf "%s_f%d" t i)) temps in
+      List.map
+        (fun st ->
+          match st with
+          | A.Decl_temp (n, e) ->
+            A.Decl_temp
+              ((match List.assoc_opt n mapping with Some x -> x | None -> n),
+               A.subst_names mapping e)
+          | A.Assign (a, idx, e) -> A.Assign (a, idx, A.subst_names mapping e)
+          | A.Accum (a, idx, e) -> A.Accum (a, idx, A.subst_names mapping e))
+        k.body
+    in
+    {
+      first with
+      kname = String.concat "_" (List.map (fun (k : I.kernel) -> k.kname) kernels) ^ "_fused";
+      body = List.concat (List.mapi tag kernels);
+      arrays =
+        List.fold_left
+          (fun acc (k : I.kernel) -> union_assoc acc k.arrays)
+          first.arrays rest;
+      scalars =
+        List.sort_uniq compare
+          (List.concat_map (fun (k : I.kernel) -> k.scalars) kernels);
+      assign = List.concat_map (fun (k : I.kernel) -> k.assign) kernels;
+    }

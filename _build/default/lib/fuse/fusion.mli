@@ -1,0 +1,42 @@
+(** Kernel fusion (paper, Section VI-A).
+
+    Temporal fusion turns the ping-pong pattern [iterate T { S(out, in);
+    swap(out, in) }] into launches of a fused kernel applying S several
+    times per sweep; the x-1 intermediate sweeps become scratch arrays in
+    the fused body, so halo analysis, staging, traffic, and execution
+    treat temporal and spatial (DAG) fusion uniformly. *)
+
+exception Fusion_error of string
+
+(** Fuse [f] applications of a single-step kernel reading [inp] and
+    writing [out].  Semantically the composition of [f] sweeps up to
+    domain-boundary effects (intermediates are zero where a sweep's guard
+    fails), so comparisons are meaningful on the deep interior.
+    @raise Fusion_error on unknown arrays or non-positive [f] *)
+val time_fuse :
+  Artemis_dsl.Instantiate.kernel -> out:string -> inp:string -> f:int ->
+  Artemis_dsl.Instantiate.kernel
+
+(** Recognize [Repeat (T, [Launch k; Exchange (out, inp)])]; returns
+    [(T, k, out, inp)]. *)
+val pingpong_of_item :
+  Artemis_dsl.Instantiate.sched_item ->
+  (int * Artemis_dsl.Instantiate.kernel * string * string) option
+
+(** Replace a ping-pong loop with fused launches following [schedule]
+    (segment sizes summing to the iteration count), each followed by one
+    swap.
+    @raise Fusion_error when the schedule does not cover the count *)
+val fuse_pingpong :
+  int * Artemis_dsl.Instantiate.kernel * string * string ->
+  schedule:int list -> Artemis_dsl.Instantiate.sched_item list
+
+(** Spatial DAG fusion: concatenate same-domain kernels in dependence
+    order; producer arrays become intermediates of the fused kernel.
+    @raise Fusion_error on domain mismatch or an empty list *)
+val fuse_dag :
+  Artemis_dsl.Instantiate.kernel list -> Artemis_dsl.Instantiate.kernel
+
+(**/**)
+
+val intermediate_name : string -> int -> string

@@ -1,0 +1,88 @@
+(* CUDA occupancy calculation: how many thread blocks of a given shape and
+   resource usage fit on one SM, and the resulting fraction of the SM's
+   thread capacity that is active.  This drives resource rationing
+   (Section II-B2), the perspective choice (Section III-B3) and the
+   latency term of the timing model. *)
+
+type usage = {
+  threads_per_block : int;
+  regs_per_thread : int;
+  shared_per_block : int;  (** bytes *)
+}
+
+type result = {
+  blocks_per_sm : int;
+  active_threads : int;
+  occupancy : float;  (** active threads / max threads per SM *)
+  limiter : limiter;
+}
+
+and limiter =
+  | By_blocks
+  | By_threads
+  | By_registers
+  | By_shared
+
+let limiter_to_string = function
+  | By_blocks -> "block slots"
+  | By_threads -> "thread slots"
+  | By_registers -> "registers"
+  | By_shared -> "shared memory"
+
+let round_up v unit_ = (v + unit_ - 1) / unit_ * unit_
+
+(** Occupancy of a block configuration on [device].  Thread counts are
+    rounded up to whole warps for resource accounting, registers to the
+    allocation unit, shared memory to its allocation granularity —
+    mirroring the CUDA occupancy calculator. *)
+let calculate (d : Device.t) (u : usage) =
+  if u.threads_per_block <= 0 || u.threads_per_block > d.max_threads_per_block then
+    { blocks_per_sm = 0; active_threads = 0; occupancy = 0.; limiter = By_threads }
+  else if u.regs_per_thread > d.max_regs_per_thread then
+    { blocks_per_sm = 0; active_threads = 0; occupancy = 0.; limiter = By_registers }
+  else begin
+    let warps = (u.threads_per_block + d.warp_size - 1) / d.warp_size in
+    let alloc_threads = warps * d.warp_size in
+    let regs_per_block =
+      alloc_threads * round_up (max u.regs_per_thread 1) d.reg_alloc_unit
+    in
+    let shm_per_block =
+      if u.shared_per_block = 0 then 0 else round_up u.shared_per_block d.shared_alloc_unit
+    in
+    let by_threads = d.max_threads_per_sm / alloc_threads in
+    let by_regs = if regs_per_block = 0 then max_int else d.regs_per_sm / regs_per_block in
+    let by_shared =
+      if shm_per_block = 0 then max_int
+      else if shm_per_block > d.shared_per_block then 0
+      else d.shared_per_sm / shm_per_block
+    in
+    let candidates =
+      [ (d.max_blocks_per_sm, By_blocks); (by_threads, By_threads);
+        (by_regs, By_registers); (by_shared, By_shared) ]
+    in
+    let blocks, limiter =
+      List.fold_left
+        (fun (bmin, lim) (b, l) -> if b < bmin then (b, l) else (bmin, lim))
+        (max_int, By_blocks) candidates
+    in
+    let blocks = max blocks 0 in
+    let active = blocks * alloc_threads in
+    {
+      blocks_per_sm = blocks;
+      active_threads = active;
+      occupancy = float_of_int active /. float_of_int d.max_threads_per_sm;
+      limiter;
+    }
+  end
+
+(** Largest register budget in {32, 64, 128, 255} (the maxrregcount steps
+    the autotuner uses, Section V) that still achieves at least
+    [target] occupancy with the given block shape and shared usage;
+    [None] if even 32 registers cannot. *)
+let max_regs_for_occupancy d ~threads_per_block ~shared_per_block ~target =
+  let steps = [ 255; 128; 64; 32 ] in
+  List.find_opt
+    (fun regs ->
+      let r = calculate d { threads_per_block; regs_per_thread = regs; shared_per_block } in
+      r.occupancy >= target -. 1e-9)
+    steps

@@ -1,0 +1,54 @@
+(** Bottleneck execution-time model — the simulator's clock.
+
+    A kernel is bound by whichever resource pipe (DP compute, DRAM,
+    texture/L2, shared memory) needs the most time, each derated by an
+    achievable-utilization factor (arithmetic and shared pipes need
+    enough warps x ILP to cover issue latency; memory pipes saturate at
+    moderate occupancy), plus a synchronization-stall term.  This mirrors
+    the roofline-plus-latency reasoning of the paper's Section IV. *)
+
+type breakdown = {
+  t_compute : float;
+  t_dram : float;
+  t_tex : float;
+  t_shm : float;
+  t_sync : float;
+  t_total : float;  (** seconds *)
+  utilization_lat : float;  (** latency-hiding factor in [0, 1] *)
+  bottleneck : bound;
+}
+
+and bound =
+  | Compute_bound
+  | Dram_bound
+  | Tex_bound
+  | Shm_bound
+  | Latency_bound
+
+val bound_to_string : bound -> string
+
+(** Everything the model needs about one kernel launch. *)
+type workload = {
+  counters : Counters.t;
+  occupancy : Occupancy.result;
+  ilp : float;  (** independent instructions per thread between dependences *)
+  blocks : int;  (** total thread blocks launched *)
+  threads_per_block : int;
+  prefetch : bool;  (** load/compute overlap enabled (Section III-A4) *)
+}
+
+(** Cost of one [__syncthreads] in cycles for a block of the given size. *)
+val sync_cycles : Device.t -> int -> float
+
+(** Fraction of peak issue rate achieved given resident warps and ILP. *)
+val latency_utilization : Device.t -> Occupancy.result -> ilp:float -> float
+
+(** Evaluate the model; spill traffic is charged to the DRAM and L2
+    pipes, prefetching discounts the synchronization stall.  A
+    zero-occupancy workload gets infinite time. *)
+val evaluate : Device.t -> workload -> breakdown
+
+(** Achieved useful TFLOPS — the figure of merit the paper plots. *)
+val tflops : workload -> breakdown -> float
+
+val pp : Format.formatter -> breakdown -> unit

@@ -1,0 +1,1 @@
+lib/ir/estimate.ml: Array Artemis_dsl Artemis_gpu Float Fun Hashtbl Launch List Plan

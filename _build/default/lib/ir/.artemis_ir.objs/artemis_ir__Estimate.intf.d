@@ -1,0 +1,1 @@
+lib/ir/estimate.mli: Artemis_dsl Artemis_gpu Launch Plan

@@ -1,0 +1,1 @@
+lib/ir/launch.ml: Array Artemis_dsl Fun Hashtbl List Plan

@@ -1,0 +1,1 @@
+lib/ir/launch.mli: Artemis_dsl Plan

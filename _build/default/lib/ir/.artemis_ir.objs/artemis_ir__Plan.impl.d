@@ -1,0 +1,1 @@
+lib/ir/plan.ml: Array Artemis_dsl Artemis_gpu Fun List Printf String

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Artemis_gpu Estimate List Plan Printf String

@@ -1,0 +1,184 @@
+(* Static resource estimation for a plan: per-thread register pressure,
+   ILP, and dynamic instruction counts.  The register model is a
+   calibrated heuristic — what matters for reproducing the paper is the
+   *decision structure* it induces: complex spatial kernels land in the
+   128-255 register band (12.5-25 % occupancy, Section VIII-C), the
+   rhs4sgcurv maxfuse kernel exceeds 255 and spills (Section VIII-D),
+   and unrolling multiplies pressure so the tuner must step maxrregcount
+   upward (Section V). *)
+
+module A = Artemis_dsl.Ast
+module An = Artemis_dsl.Analysis
+
+(* Maximum number of simultaneously live temporaries across the body:
+   a temp is live from its definition to its last use. *)
+let max_live_temps (body : A.stmt list) =
+  let stmts = Array.of_list body in
+  let n = Array.length stmts in
+  let temps = Hashtbl.create 16 in
+  Array.iteri
+    (fun i st ->
+      match st with
+      | A.Decl_temp (name, _) -> Hashtbl.replace temps name (i, i)
+      | A.Assign _ | A.Accum _ -> ())
+    stmts;
+  Array.iteri
+    (fun i st ->
+      A.fold_stmt_exprs
+        (fun () e ->
+          List.iter
+            (fun s ->
+              match Hashtbl.find_opt temps s with
+              | Some (def, _) -> Hashtbl.replace temps s (def, i)
+              | None -> ())
+            (A.scalars_of_expr e))
+        () st)
+    stmts;
+  let live_at = Array.make (max n 1) 0 in
+  Hashtbl.iter
+    (fun _ (def, last) ->
+      for i = def to last do
+        live_at.(i) <- live_at.(i) + 1
+      done)
+    temps;
+  Array.fold_left max 0 live_at
+
+(* Arithmetic volume of the body: NVCC's register demand for spill-free
+   compilation of flop-heavy stencil kernels grows roughly linearly with
+   the expression work per point (common subexpressions, staged operands,
+   scheduling slack).  flops/5 calibrates the Table-I kernels onto the
+   paper's observations: rhs4center (666 FLOPs) compiles spill-free at
+   255 registers, rhs4sgcurv maxfuse (2126 FLOPs) spills even at 255, the
+   spatial kernels land at 12.5-25 % occupancy. *)
+let flop_pressure (body : A.stmt list) =
+  List.fold_left (fun acc st -> acc + An.flops_of_stmt st) 0 body / 5
+
+type resources = {
+  regs_per_thread : int;  (** estimated spill-free requirement (32-bit) *)
+  effective_regs : int;  (** min(requirement, maxrregcount) *)
+  spilled_doubles : int;  (** doubles pushed to local memory *)
+  shared_per_block : int;  (** bytes *)
+  ilp : float;
+  occupancy : Artemis_gpu.Occupancy.result;
+}
+
+(* In-plane unroll product: register-cached values replicate per unrolled
+   output along tiled dimensions. *)
+let inplane_unroll (p : Plan.t) =
+  let r = Plan.rank p in
+  let stream = Plan.stream_dim p in
+  List.fold_left
+    (fun acc d -> if stream = Some d then acc else acc * p.unroll.(d))
+    1 (List.init r Fun.id)
+
+(** Estimated spill-free register requirement of one thread (in 32-bit
+    registers; one double = 2). *)
+let regs_estimate (p : Plan.t) bufs =
+  let k = p.kernel in
+  let uin = inplane_unroll p in
+  let base = 24 in
+  let temps = 2 * max_live_temps k.body in
+  let reg_planes =
+    List.fold_left
+      (fun acc (b : Launch.buffer) ->
+        match b.staging with
+        | Launch.Stage_stream { reg_planes; _ } -> acc + List.length reg_planes
+        | Launch.Stage_tile _ | Launch.Stage_global | Launch.Stage_const
+        | Launch.Stage_fold_member _ -> acc)
+      0 bufs
+  in
+  let prefetch_regs = if p.prefetch then Launch.prefetchable_arrays bufs else 0 in
+  let retime_accs =
+    if not p.retime then 0
+    else
+      match Plan.stream_dim p with
+      | None -> 0
+      | Some s ->
+        (* One accumulator per output statement per live stream offset. *)
+        let outs = Launch.final_outputs k in
+        let window =
+          List.fold_left
+            (fun acc a ->
+              let lo, hi = An.offset_range k a s in
+              max acc (hi - lo + 1))
+            1
+            (List.map (fun (b : Launch.buffer) -> b.array) bufs)
+        in
+        List.length outs * window
+  in
+  let outputs = List.length (Launch.final_outputs k) in
+  let pointers = List.length k.arrays in
+  base + pointers
+  + (2 * temps)
+  + (2 * uin * (reg_planes + prefetch_regs + retime_accs + outputs))
+  + (uin * flop_pressure k.body)
+  + (2 * (Plan.unroll_product p - 1))
+
+(** ILP visible to the scheduler: unrolling multiplies independent work;
+    blocked distribution and prefetching expose a little more; heavy
+    register pressure erodes it (the compiler serializes to fit); the
+    input perspective idles its halo warps during compute (Section
+    III-B3), reducing the useful issue rate. *)
+let ilp_estimate (p : Plan.t) ~regs_needed =
+  let base = 1.6 in
+  let unroll_gain = sqrt (float_of_int (Plan.unroll_product p)) in
+  let dist_gain = match p.distribution with Plan.Blocked -> 1.15 | Plan.Cyclic -> 1.0 in
+  let pf_gain = if p.prefetch then 1.2 else 1.0 in
+  let pressure_loss =
+    if regs_needed <= p.max_regs then 1.0
+    else Float.max 0.35 (float_of_int p.max_regs /. float_of_int regs_needed)
+  in
+  let persp_loss =
+    match p.perspective with
+    | Plan.Input_persp ->
+      (* active compute threads / launched threads: tile vs halo tile *)
+      let k = p.kernel in
+      let rank = Array.length k.domain in
+      let exts = An.required_extents k in
+      let inputs = Launch.pure_inputs k in
+      let ext =
+        List.fold_left
+          (fun acc a ->
+            match Hashtbl.find_opt exts a with
+            | Some e -> An.union_extent acc e
+            | None -> acc)
+          (An.zero_extent rank) inputs
+      in
+      let frac = ref 1.0 in
+      let stream = Plan.stream_dim p in
+      for d = 0 to rank - 1 do
+        if stream <> Some d then begin
+          let lo, hi = ext.(d) in
+          let t = float_of_int (p.block.(d) * p.unroll.(d)) in
+          frac := !frac *. (t /. (t +. float_of_int (hi - lo)))
+        end
+      done;
+      Float.max 0.4 !frac
+    | Plan.Output_persp | Plan.Mixed_persp -> 1.0
+  in
+  Float.min 8.0 (base *. unroll_gain *. dist_gain *. pf_gain *. pressure_loss *. persp_loss)
+
+(** Full static resource picture of a plan. *)
+let resources (p : Plan.t) =
+  let g = Launch.geometry p in
+  let bufs = Launch.buffers p in
+  let shared = Launch.shared_bytes_per_block p g bufs in
+  let needed = regs_estimate p bufs in
+  let effective = min needed p.max_regs in
+  let spilled = max 0 ((needed - p.max_regs + 1) / 2) in
+  let occ =
+    Artemis_gpu.Occupancy.calculate p.device
+      {
+        threads_per_block = Plan.threads_per_block p;
+        regs_per_thread = effective;
+        shared_per_block = shared;
+      }
+  in
+  {
+    regs_per_thread = needed;
+    effective_regs = effective;
+    spilled_doubles = spilled;
+    shared_per_block = shared;
+    ilp = ilp_estimate p ~regs_needed:needed;
+    occupancy = occ;
+  }

@@ -1,0 +1,24 @@
+(** Plan validation against device and CUDA launch limits.  The tuner
+    filters its search space through [violations]; the executor refuses
+    invalid plans, so every simulated result corresponds to a launchable
+    kernel. *)
+
+type violation =
+  | Too_many_threads of int
+  | Bad_block_dim of int * int  (** dimension, extent *)
+  | Shared_overflow of int * int  (** needed, available *)
+  | Regs_overflow of int * int
+  | Zero_occupancy of string  (** limiter description *)
+  | Bad_stream_dim of int
+  | Bad_unroll of int * int
+  | Empty_tile of int
+
+val violation_to_string : violation -> string
+
+(** All limit violations; empty means launchable. *)
+val violations : Plan.t -> violation list
+
+val is_valid : Plan.t -> bool
+
+(** @raise Invalid_argument with a readable message when unlaunchable. *)
+val check : Plan.t -> unit

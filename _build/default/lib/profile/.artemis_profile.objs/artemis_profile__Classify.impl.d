@@ -1,0 +1,1 @@
+lib/profile/classify.ml: Artemis_gpu Format List String

@@ -1,0 +1,1 @@
+lib/profile/classify.mli: Artemis_gpu Format

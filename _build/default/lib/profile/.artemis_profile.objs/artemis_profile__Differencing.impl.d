@@ -1,0 +1,1 @@
+lib/profile/differencing.ml: Artemis_exec Artemis_gpu Artemis_ir Classify Float

@@ -1,0 +1,1 @@
+lib/profile/differencing.mli: Artemis_exec Classify

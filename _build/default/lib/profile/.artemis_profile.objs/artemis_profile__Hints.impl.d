@@ -1,0 +1,1 @@
+lib/profile/hints.ml: Artemis_exec Artemis_ir Classify List

@@ -1,0 +1,1 @@
+lib/profile/hints.mli: Artemis_exec Classify

@@ -1,0 +1,1 @@
+lib/profile/report.ml: Array Artemis_dsl Artemis_exec Artemis_gpu Artemis_ir Buffer Classify Hints List Printf String

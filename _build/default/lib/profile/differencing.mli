@@ -1,0 +1,25 @@
+(** Code differencing (paper, Section IV, Listings 2-3).
+
+    To decide whether a near-roofline kernel is really bandwidth-bound at
+    level M, generate a variant V' whose accesses to M are drastically
+    reduced — Listing 3 confines every global array to one block-sized
+    footprint — and compare simulated times.  A significant speedup of
+    V' convicts M. *)
+
+type result = {
+  original_time : float;
+  reduced_time : float;
+  speedup : float;
+  bound : bool;  (** the level was the bottleneck *)
+}
+
+(** Speedup factor required to declare the level the bottleneck. *)
+val threshold : float
+
+(** Run the differencing experiment for one level on a measured plan. *)
+val test : Artemis_exec.Analytic.measurement -> Classify.level -> result
+
+(** Resolve an [Ambiguous] verdict by differencing at the ambiguous
+    level; other verdicts pass through unchanged. *)
+val resolve :
+  Artemis_exec.Analytic.measurement -> Classify.profile -> Classify.profile

@@ -1,0 +1,92 @@
+(* The Section IV-A decision guidelines: turn a bottleneck profile into
+   concrete optimization decisions and user-facing hints.  The autotuner
+   uses [decisions] to prune its space; the CLI prints [hints]. *)
+
+module Plan = Artemis_ir.Plan
+module Analytic = Artemis_exec.Analytic
+
+type decisions = {
+  enable_shared : bool;  (** stage arrays in shared memory *)
+  enable_unroll : bool;  (** explore loop unrolling *)
+  enable_register_opts : bool;  (** retiming / folding / register caching *)
+  explore_fusion : bool;  (** iterative stencils: try a deeper time tile *)
+  explore_fission : bool;  (** register pressure: generate fission candidates *)
+  prefer_global : bool;  (** tune the global-memory version instead *)
+}
+
+let default_decisions =
+  {
+    enable_shared = true;
+    enable_unroll = true;
+    enable_register_opts = false;
+    explore_fusion = false;
+    explore_fission = false;
+    prefer_global = false;
+  }
+
+type hint = {
+  severity : [ `Info | `Advice ];
+  text : string;
+}
+
+(** Apply the guidelines to a measured + classified kernel.
+    [iterative] marks time-iterated stencils (fusion candidates);
+    [register_pressure] is the spill-free register estimate. *)
+let decide ~iterative (m : Analytic.measurement) (prof : Classify.profile) =
+  let spills = m.resources.spilled_doubles > 0 in
+  let high_pressure = m.resources.regs_per_thread > 128 in
+  let d = default_decisions in
+  let d =
+    match prof.verdict with
+    | Classify.Compute_bound ->
+      (* Shared-memory staging and ILP tricks do not help compute-bound
+         kernels; FLOP-reducing rewrites (folding) do. *)
+      { d with enable_shared = false; enable_unroll = false; enable_register_opts = true }
+    | Classify.Bandwidth_bound levels ->
+      let at l = List.mem l levels in
+      let d = { d with enable_shared = at Classify.Tex || at Classify.Dram } in
+      let d =
+        if iterative && (at Classify.Tex || at Classify.Dram) then
+          { d with explore_fusion = true }
+        else d
+      in
+      let d =
+        (* Severely DRAM-bound despite shared memory: shared staging only
+           adds shm transactions; tune the global version. *)
+        if (not iterative) && at Classify.Dram && Plan.uses_shared m.plan then
+          { d with prefer_global = true }
+        else d
+      in
+      if at Classify.Shm then { d with enable_register_opts = true } else d
+    | Classify.Latency_bound ->
+      { d with enable_unroll = true; enable_register_opts = true }
+    | Classify.Ambiguous _ -> d
+  in
+  if spills || high_pressure then
+    { d with enable_unroll = false; explore_fission = true }
+  else d
+
+(** Human-readable hints mirroring the guideline bullets of Section IV-A. *)
+let hints ~iterative (m : Analytic.measurement) (prof : Classify.profile) =
+  let d = decide ~iterative m prof in
+  let add cond sev text acc = if cond then { severity = sev; text } :: acc else acc in
+  []
+  |> add (not d.enable_shared) `Info
+       "kernel is compute-bound: shared-memory staging and unrolling disabled; \
+        applying FLOP-reducing rewrites instead"
+  |> add d.explore_fission `Advice
+       "high register pressure or spills detected: loop unrolling disabled; \
+        consider the generated fission candidates"
+  |> add d.explore_fusion `Advice
+       "iterative stencil bandwidth-bound at texture/DRAM: a deeper fusion \
+        degree should reduce traffic; deep tuning will explore it"
+  |> add d.prefer_global `Advice
+       "spatial stencil remains DRAM bandwidth-bound with shared memory: \
+        tuning the global-memory version; consider algorithmic reductions of \
+        DRAM traffic or stencil order"
+  |> add
+       (match prof.verdict with
+        | Classify.Bandwidth_bound ls -> List.mem Classify.Shm ls
+        | _ -> false)
+       `Info "shared-memory bandwidth-bound: register-level optimizations enabled"
+  |> List.rev

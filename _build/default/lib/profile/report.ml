@@ -1,0 +1,98 @@
+(* Optimization report generation: the human-readable account of what
+   ARTEMIS did to a kernel — the "textual output" of Section VII turned
+   into a structured artifact.  The CLI writes it next to the generated
+   CUDA; tests check its stability. *)
+
+module An = Artemis_dsl.Analysis
+module I = Artemis_dsl.Instantiate
+module Plan = Artemis_ir.Plan
+module Estimate = Artemis_ir.Estimate
+module Analytic = Artemis_exec.Analytic
+module C = Artemis_gpu.Counters
+module Timing = Artemis_gpu.Timing
+
+type t = {
+  kernel : I.kernel;
+  baseline : Analytic.measurement;
+  baseline_profile : Classify.profile;
+  tuned : Analytic.measurement;
+  tuned_profile : Classify.profile;
+  hints : Hints.hint list;
+  explored : int;
+  history : (string * float) list;  (** best-first tuning trace *)
+}
+
+let line buf fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\n')
+    fmt
+
+let section buf title =
+  Buffer.add_string buf "\n";
+  Buffer.add_string buf title;
+  Buffer.add_string buf "\n";
+  Buffer.add_string buf (String.make (String.length title) '-');
+  Buffer.add_string buf "\n"
+
+let render_measurement buf label (m : Analytic.measurement) (prof : Classify.profile) =
+  section buf label;
+  line buf "plan            : %s" (Plan.label m.plan);
+  line buf "performance     : %.3f TFLOPS (%.3e s)" m.tflops m.time_s;
+  line buf "bottleneck      : %s" (Classify.verdict_to_string prof.verdict);
+  line buf "OI dram/tex/shm : %.2f / %.2f / %.2f (knees %.2f / %.2f / %.2f)"
+    prof.oi_dram prof.oi_tex prof.oi_shm prof.knee_dram prof.knee_tex prof.knee_shm;
+  line buf "occupancy       : %.3f (%d blocks/SM, limited by %s)"
+    m.resources.occupancy.occupancy m.resources.occupancy.blocks_per_sm
+    (Artemis_gpu.Occupancy.limiter_to_string m.resources.occupancy.limiter);
+  line buf "registers       : %d estimated, %d effective%s"
+    m.resources.regs_per_thread m.resources.effective_regs
+    (if m.resources.spilled_doubles > 0 then
+       Printf.sprintf " (%d doubles spilled)" m.resources.spilled_doubles
+     else " (spill-free)");
+  line buf "shared memory   : %d B/block" m.resources.shared_per_block;
+  line buf "redundancy      : %.3fx recomputation from overlapped tiling"
+    (C.redundancy m.counters);
+  line buf "timing pipes    : compute %.2e, dram %.2e, tex %.2e, shm %.2e, sync %.2e s"
+    m.breakdown.t_compute m.breakdown.t_dram m.breakdown.t_tex m.breakdown.t_shm
+    m.breakdown.t_sync
+
+(** Render the full report as text. *)
+let render (r : t) =
+  let buf = Buffer.create 2048 in
+  let k = r.kernel in
+  line buf "ARTEMIS optimization report — kernel %s" k.kname;
+  section buf "stencil";
+  line buf "domain          : %s"
+    (String.concat " x " (Array.to_list (Array.map string_of_int k.domain)));
+  line buf "statements      : %d" (List.length k.body);
+  line buf "stencil order   : %d" (An.stencil_order k);
+  line buf "flops per point : %d" (An.flops_per_point k);
+  line buf "IO arrays       : %d" (An.io_array_count k);
+  line buf "theoretical OI  : %.3f flops/byte" (An.theoretical_oi k);
+  line buf "recompute halo  : %d" (An.recompute_halo k);
+  render_measurement buf "baseline (from pragma)" r.baseline r.baseline_profile;
+  render_measurement buf "tuned" r.tuned r.tuned_profile;
+  section buf "tuning";
+  line buf "configurations measured : %d" r.explored;
+  line buf "speedup over baseline   : %.2fx"
+    (if r.baseline.tflops > 0.0 then r.tuned.tflops /. r.baseline.tflops else 0.0);
+  (match r.history with
+   | [] -> ()
+   | history ->
+     line buf "top configurations:" ;
+     List.iteri
+       (fun i (label, tflops) ->
+         if i < 8 then line buf "  %5.3f TFLOPS  %s" tflops label)
+       history);
+  if r.hints <> [] then begin
+    section buf "hints";
+    List.iter
+      (fun (h : Hints.hint) ->
+        line buf "[%s] %s"
+          (match h.severity with `Info -> "info" | `Advice -> "advice")
+          h.text)
+      r.hints
+  end;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/tune/deep.ml: Array Artemis_dsl Artemis_exec Artemis_fuse Artemis_ir Artemis_profile Hierarchical List

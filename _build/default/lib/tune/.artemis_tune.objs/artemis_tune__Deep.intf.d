@@ -1,0 +1,1 @@
+lib/tune/deep.mli: Artemis_dsl Artemis_exec Artemis_ir Artemis_profile Hierarchical

@@ -1,0 +1,1 @@
+lib/tune/hierarchical.ml: Array Artemis_codegen Artemis_dsl Artemis_exec Artemis_ir Artemis_profile List Option Space

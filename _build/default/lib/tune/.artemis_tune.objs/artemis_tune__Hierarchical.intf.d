@@ -1,0 +1,1 @@
+lib/tune/hierarchical.mli: Artemis_exec Artemis_ir Artemis_profile

@@ -1,0 +1,1 @@
+lib/tune/opentuner_sim.ml: Artemis_exec Artemis_ir List Space

@@ -1,0 +1,1 @@
+lib/tune/opentuner_sim.mli: Artemis_exec Artemis_ir

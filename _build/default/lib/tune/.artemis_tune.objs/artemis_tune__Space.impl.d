@@ -1,0 +1,1 @@
+lib/tune/space.ml: Array Artemis_ir List

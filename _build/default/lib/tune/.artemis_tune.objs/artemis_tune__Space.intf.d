@@ -1,0 +1,1 @@
+lib/tune/space.mli: Artemis_ir

@@ -1,0 +1,134 @@
+(* Deep tuning for iterative stencils with arbitrary time-iteration counts
+   (paper, Section VI-A).
+
+   ARTEMIS generates fused versions (x * 1) of increasing time-tile size,
+   autotunes each, and profiles the best configuration: exploration stops
+   as soon as a version is no longer bandwidth-bound at DRAM, texture, or
+   shared memory (fusion can only help bandwidth-bound kernels).  The
+   recorded per-version times then feed the dynamic program
+
+     opt(T) = 0                                   if T = 0
+            = min over 1<=x<=min(k,T) of f(x) + opt(T - x)
+
+   which yields a near-optimal fusion schedule for any iteration count. *)
+
+module I = Artemis_dsl.Instantiate
+module Plan = Artemis_ir.Plan
+module Analytic = Artemis_exec.Analytic
+module Classify = Artemis_profile.Classify
+module Fusion = Artemis_fuse.Fusion
+
+type version = {
+  time_tile : int;
+  record : Hierarchical.record;
+  profile : Classify.profile;
+  time_per_sweep : float;  (** launch time / time_tile *)
+}
+
+type result = {
+  versions : version list;  (** (x * 1) for x = 1 .. k *)
+  cusp : int;  (** time tile with the best per-sweep throughput *)
+  tipping_point : int;  (** first x whose per-sweep TFLOPS drop vs x-1 (or k) *)
+}
+
+let profile_of (m : Analytic.measurement) =
+  Classify.classify m.plan.device m.counters ~time_s:m.time_s
+
+let still_bandwidth_bound prof =
+  match prof.Classify.verdict with
+  | Classify.Bandwidth_bound _ | Classify.Ambiguous _ -> true
+  | Classify.Compute_bound | Classify.Latency_bound -> false
+
+(** Generate and tune fused versions of the ping-pong kernel [k] (writing
+    [out] from [inp]) until fusion stops paying or [max_tile] is reached.
+    [plan_of] builds the base plan (scheme/placement) for a fused kernel. *)
+let explore ?(max_tile = 5) ~plan_of (k : I.kernel) ~out ~inp =
+  let rec go x acc =
+    if x > max_tile then List.rev acc
+    else begin
+      let fused = Fusion.time_fuse k ~out ~inp ~f:x in
+      let base : Plan.t = plan_of fused in
+      let base = { base with Plan.time_tile = x } in
+      match Hierarchical.tune base with
+      | None -> List.rev acc
+      | Some record ->
+        let prof = profile_of record.best in
+        let v =
+          {
+            time_tile = x;
+            record;
+            profile = prof;
+            time_per_sweep = record.best.time_s /. float_of_int x;
+          }
+        in
+        (* Stop once the fused version is no longer bandwidth-bound: deeper
+           fusion cannot pay (Section VI-A). *)
+        if still_bandwidth_bound prof then go (x + 1) (v :: acc)
+        else List.rev (v :: acc)
+    end
+  in
+  let versions = go 1 [] in
+  let cusp =
+    match
+      List.sort (fun a b -> compare a.time_per_sweep b.time_per_sweep) versions
+    with
+    | best :: _ -> best.time_tile
+    | [] -> 1
+  in
+  let tipping_point =
+    let rec find = function
+      | a :: b :: rest ->
+        if b.time_per_sweep > a.time_per_sweep then b.time_tile else find (b :: rest)
+      | [ last ] -> last.time_tile + 1
+      | [] -> 1
+    in
+    find versions
+  in
+  { versions; cusp; tipping_point }
+
+(** Optimal fusion schedule for [t] iterations given per-version times:
+    the Section VI-A dynamic program.  Returns the segment sizes (summing
+    to [t]) and the predicted total time. *)
+let optimal_schedule (r : result) ~t =
+  if t < 0 then invalid_arg "optimal_schedule: negative iteration count";
+  let times =
+    List.map (fun v -> (v.time_tile, v.record.best.time_s)) r.versions
+  in
+  let k = List.fold_left (fun acc (x, _) -> max acc x) 0 times in
+  let opt = Array.make (t + 1) infinity in
+  let choice = Array.make (t + 1) 0 in
+  opt.(0) <- 0.0;
+  for tt = 1 to t do
+    for x = 1 to min k tt do
+      match List.assoc_opt x times with
+      | Some fx ->
+        if fx +. opt.(tt - x) < opt.(tt) then begin
+          opt.(tt) <- fx +. opt.(tt - x);
+          choice.(tt) <- x
+        end
+      | None -> ()
+    done
+  done;
+  let rec collect tt acc =
+    if tt = 0 then acc else collect (tt - choice.(tt)) (choice.(tt) :: acc)
+  in
+  if t > 0 && opt.(t) = infinity then invalid_arg "optimal_schedule: no versions"
+  else (collect t [], opt.(t))
+
+(** Brute-force check of the DP (used by property tests): enumerate all
+    compositions of [t] into parts with known times. *)
+let brute_force_schedule (r : result) ~t =
+  let times =
+    List.map (fun v -> (v.time_tile, v.record.best.time_s)) r.versions
+  in
+  let best = ref (([], infinity) : int list * float) in
+  let rec go remaining acc cost =
+    if cost >= snd !best then ()
+    else if remaining = 0 then best := (List.rev acc, cost)
+    else
+      List.iter
+        (fun (x, fx) -> if x <= remaining then go (remaining - x) (x :: acc) (cost +. fx))
+        times
+  in
+  go t [] 0.0;
+  !best

@@ -1,0 +1,200 @@
+(* Hierarchical autotuning (paper, Section V): tune in steps instead of
+   exploring the cross product of every knob.
+
+   Phase 1 sweeps the high-impact parameters — thread-block shape and
+   unroll factors — with serial streaming enabled by default when shared
+   memory is used, stepping maxrregcount upward so only spill-free
+   configurations run.  Phase 2 takes the top candidates and toggles the
+   cheaper refinements: prefetching, concurrent streaming, load/compute
+   perspective, distribution, retiming, folding.  Profiling guidance
+   (Hints.decisions) prunes both phases. *)
+
+module Plan = Artemis_ir.Plan
+module Validate = Artemis_ir.Validate
+module Analytic = Artemis_exec.Analytic
+module Hints = Artemis_profile.Hints
+
+type record = {
+  best : Analytic.measurement;
+  explored : int;  (** configurations measured *)
+  phase1_best : Analytic.measurement;
+  history : (string * float) list;  (** label -> TFLOPS, best-first, capped *)
+}
+
+let better (a : Analytic.measurement option) (b : Analytic.measurement) =
+  match a with
+  | None -> Some b
+  | Some a -> if b.tflops > a.tflops then Some b else Some a
+
+(* Measure with the non-spill register-stepping rule; falls back to 255
+   with spills so register-doomed kernels (maxfuse rhs4sgcurv) are still
+   measurable. *)
+let measure_stepped (p : Plan.t) =
+  let p =
+    match Space.min_nonspill_regs p with
+    | Some r -> { p with max_regs = r }
+    | None -> { p with max_regs = 255 }
+  in
+  Analytic.try_measure p
+
+type knobs = {
+  try_unroll : bool;
+  try_prefetch : bool;
+  try_concurrent : bool;
+  try_perspective : bool;
+  try_retime : bool;
+  try_fold : bool;
+  unroll_bound : int;
+  top_n : int;  (** phase-1 candidates promoted to phase 2 *)
+}
+
+let default_knobs =
+  {
+    try_unroll = true;
+    try_prefetch = true;
+    try_concurrent = true;
+    try_perspective = true;
+    try_retime = true;
+    try_fold = true;
+    unroll_bound = 8;
+    top_n = 4;
+  }
+
+(** Derive knob settings from profiling decisions (Section IV-A): e.g.
+    unrolling off under register pressure or for compute-bound kernels. *)
+let knobs_of_decisions (d : Hints.decisions) =
+  {
+    default_knobs with
+    try_unroll = d.enable_unroll;
+    (* Retiming and folding are phase-2 toggles on a handful of
+       candidates — cheap enough to always explore, and they keep the
+       ARTEMIS space a superset of the STENCILGEN strategy. *)
+    try_retime = true;
+    try_fold = true;
+    unroll_bound = (if d.enable_unroll then 8 else 1);
+  }
+
+(** Tune a base plan.  The base fixes the scheme, placement, and kernel;
+    the tuner varies block/unroll (phase 1) then the refinement toggles
+    (phase 2).  Returns [None] only when no valid configuration exists. *)
+let tune ?(knobs = default_knobs) (base : Plan.t) =
+  let rank = Plan.rank base in
+  let explored = ref 0 in
+  let history = ref [] in
+  let consider acc plan =
+    match measure_stepped plan with
+    | Some m ->
+      incr explored;
+      if List.length !history < 64 then
+        history := (Plan.label m.plan, m.tflops) :: !history;
+      better acc m
+    | None -> acc
+  in
+  (* ---- phase 1: block shapes x unroll vectors ---- *)
+  let blocks =
+    Space.block_candidates ~rank ~scheme:base.scheme
+      ~max_threads:base.device.max_threads_per_block
+  in
+  let unrolls =
+    if knobs.try_unroll then
+      Space.unroll_candidates ~rank ~scheme:base.scheme ~bound:knobs.unroll_bound
+    else [ Array.make rank 1 ]
+  in
+  let phase1 =
+    List.fold_left
+      (fun acc block ->
+        List.fold_left
+          (fun acc unroll -> consider acc { base with block; unroll })
+          acc unrolls)
+      None blocks
+  in
+  match phase1 with
+  | None -> None
+  | Some p1_best ->
+    (* ---- phase 2: refinements on the top candidates ---- *)
+    let top =
+      let measured =
+        List.filter_map
+          (fun block ->
+            match measure_stepped { base with block; unroll = p1_best.plan.unroll } with
+            | Some m -> Some m
+            | None -> None)
+          blocks
+      in
+      List.sort (fun (a : Analytic.measurement) b -> compare b.tflops a.tflops) measured
+      |> List.filteri (fun i _ -> i < knobs.top_n)
+      |> List.map (fun (m : Analytic.measurement) -> m.plan)
+    in
+    let refine acc (candidate : Plan.t) =
+      let variants =
+        let base_variants = [ candidate ] in
+        let with_prefetch =
+          if knobs.try_prefetch then
+            List.concat_map (fun p -> [ p; { p with Plan.prefetch = true } ]) base_variants
+          else base_variants
+        in
+        let with_persp =
+          if knobs.try_perspective then
+            List.concat_map
+              (fun (p : Plan.t) ->
+                [ p; { p with perspective = Plan.Input_persp };
+                  { p with perspective = Plan.Mixed_persp } ])
+              with_prefetch
+          else with_prefetch
+        in
+        let retime_variant (p : Plan.t) =
+          (* Retiming needs a homogenizable body; carry the decomposed
+             form so execution and accounting agree. *)
+          let dim = match Plan.stream_dim p with Some s -> s | None -> 0 in
+          match Artemis_codegen.Retime.apply p.kernel ~dim_index:dim with
+          | Some k' -> Some { p with kernel = k'; retime = true }
+          | None -> None
+        in
+        let with_retime =
+          if knobs.try_retime then
+            List.concat_map
+              (fun (p : Plan.t) ->
+                match retime_variant p with
+                | Some rp -> [ p; rp ]
+                | None -> [ p ])
+              with_persp
+          else with_persp
+        in
+        let with_conc =
+          match (knobs.try_concurrent, candidate.scheme) with
+          | true, Plan.Serial_stream s ->
+            let extent = candidate.kernel.domain.(s) in
+            List.concat_map
+              (fun (p : Plan.t) ->
+                p
+                :: List.map
+                     (fun chunk -> { p with scheme = Plan.Concurrent_stream (s, chunk) })
+                     (Space.chunk_candidates ~extent))
+              with_retime
+          | _ -> with_retime
+        in
+        let with_fold =
+          if knobs.try_fold then
+            List.concat_map
+              (fun (p : Plan.t) ->
+                match Artemis_dsl.Analysis.foldable_groups p.kernel with
+                | [] -> [ p ]
+                | groups -> [ p; { p with fold = groups } ])
+              with_conc
+          else with_conc
+        in
+        with_fold
+      in
+      List.fold_left consider acc variants
+    in
+    let final = List.fold_left refine (Some p1_best) top in
+    Option.map
+      (fun best ->
+        {
+          best;
+          explored = !explored;
+          phase1_best = p1_best;
+          history =
+            List.sort (fun (_, a) (_, b) -> compare b a) !history;
+        })
+      final

@@ -1,0 +1,46 @@
+(** Hierarchical autotuning (paper, Section V): tune in steps instead of
+    exploring the cross product of every knob.
+
+    Phase 1 sweeps the high-impact parameters (thread-block shape, unroll
+    vectors), stepping maxrregcount so only spill-free configurations
+    run; phase 2 toggles the refinements (prefetching, concurrent
+    streaming, perspective, distribution, retiming, folding) on the top
+    phase-1 candidates.  Profiling decisions prune both phases. *)
+
+type record = {
+  best : Artemis_exec.Analytic.measurement;
+  explored : int;  (** configurations measured *)
+  phase1_best : Artemis_exec.Analytic.measurement;
+  history : (string * float) list;  (** plan label -> TFLOPS, best first *)
+}
+
+(** Which refinements the tuner may explore — the user-definable
+    optimization hierarchy of Section V. *)
+type knobs = {
+  try_unroll : bool;
+  try_prefetch : bool;
+  try_concurrent : bool;
+  try_perspective : bool;
+  try_retime : bool;
+  try_fold : bool;
+  unroll_bound : int;  (** 8 bandwidth-bound / 4 compute-bound *)
+  top_n : int;  (** phase-1 candidates promoted to phase 2 *)
+}
+
+val default_knobs : knobs
+
+(** Derive knob settings from the profiler's guideline decisions
+    (Section IV-A): unrolling off under register pressure or for
+    compute-bound kernels, register-level refinements on when
+    shared-memory bound. *)
+val knobs_of_decisions : Artemis_profile.Hints.decisions -> knobs
+
+(** Measure with the non-spill register-stepping rule (falls back to 255
+    with spills so register-doomed kernels remain measurable). *)
+val measure_stepped :
+  Artemis_ir.Plan.t -> Artemis_exec.Analytic.measurement option
+
+(** Tune a base plan (its scheme, placement, and kernel are fixed; block,
+    unroll, and refinements vary).  [None] only when no valid
+    configuration exists at all. *)
+val tune : ?knobs:knobs -> Artemis_ir.Plan.t -> record option

@@ -1,0 +1,74 @@
+(* Generic-search baseline standing in for OpenTuner (paper, Sections I
+   and V): explores the unpruned cross-product of every knob with no
+   bottleneck guidance, optionally with a random-sample budget.  Used to
+   reproduce the tuning-cost comparison — hierarchical tuning reaches a
+   configuration of comparable quality while measuring far fewer
+   versions. *)
+
+module Plan = Artemis_ir.Plan
+module Analytic = Artemis_exec.Analytic
+
+type record = {
+  best : Analytic.measurement option;
+  explored : int;
+  space_size : int;  (** full cross-product size before validity filtering *)
+}
+
+let full_space (base : Plan.t) =
+  let rank = Plan.rank base in
+  let blocks =
+    Space.block_candidates ~rank ~scheme:base.scheme
+      ~max_threads:base.device.max_threads_per_block
+  in
+  let unrolls = Space.unroll_candidates ~rank ~scheme:base.scheme ~bound:8 in
+  let persps = [ Plan.Output_persp; Plan.Input_persp; Plan.Mixed_persp ] in
+  let dists = [ Plan.Blocked; Plan.Cyclic ] in
+  let bools = [ false; true ] in
+  let plans =
+    List.concat_map
+      (fun block ->
+        List.concat_map
+          (fun unroll ->
+            List.concat_map
+              (fun perspective ->
+                List.concat_map
+                  (fun distribution ->
+                    List.concat_map
+                      (fun prefetch ->
+                        List.map
+                          (fun max_regs ->
+                            { base with Plan.block; unroll; perspective;
+                              distribution; prefetch; max_regs })
+                          Space.reg_steps)
+                      bools)
+                  dists)
+              persps)
+          unrolls)
+      blocks
+  in
+  plans
+
+(** Exhaustive search (or the first [budget] configurations when given —
+    OpenTuner's wall-clock cap). *)
+let tune ?budget (base : Plan.t) =
+  let plans = full_space base in
+  let space_size = List.length plans in
+  let plans =
+    match budget with
+    | Some b -> List.filteri (fun i _ -> i < b) plans
+    | None -> plans
+  in
+  let explored = ref 0 in
+  let best =
+    List.fold_left
+      (fun acc plan ->
+        match Analytic.try_measure plan with
+        | Some m ->
+          incr explored;
+          (match acc with
+           | Some (a : Analytic.measurement) when a.tflops >= m.tflops -> acc
+           | Some _ | None -> Some m)
+        | None -> acc)
+      None plans
+  in
+  { best; explored = !explored; space_size }

@@ -1,0 +1,18 @@
+(** Generic-search baseline standing in for OpenTuner (paper, Sections I
+    and V): explores the unpruned cross product of every knob with no
+    bottleneck guidance.  Used to reproduce the tuning-cost comparison —
+    hierarchical tuning reaches comparable quality after measuring a
+    small fraction of this space. *)
+
+type record = {
+  best : Artemis_exec.Analytic.measurement option;
+  explored : int;  (** valid configurations actually measured *)
+  space_size : int;  (** full cross-product size before validity filtering *)
+}
+
+(** The full unpruned configuration list for a base plan. *)
+val full_space : Artemis_ir.Plan.t -> Artemis_ir.Plan.t list
+
+(** Exhaustive search, or the first [budget] configurations (OpenTuner's
+    wall-clock cap). *)
+val tune : ?budget:int -> Artemis_ir.Plan.t -> record

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Artemis_bench Artemis_codegen Artemis_dsl Ast Builder Check Hashtbl Instantiate List Option Parser

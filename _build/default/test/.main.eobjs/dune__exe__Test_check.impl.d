@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Artemis_bench Artemis_dsl Check List Parser

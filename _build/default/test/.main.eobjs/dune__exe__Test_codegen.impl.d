@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Analysis Artemis_bench Artemis_codegen Artemis_dsl Artemis_fuse Artemis_gpu Artemis_ir Ast Instantiate List String

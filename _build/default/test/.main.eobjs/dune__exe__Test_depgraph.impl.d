@@ -1,0 +1,1 @@
+test/test_depgraph.ml: Alcotest Array Artemis_bench Artemis_dsl Ast Check Depgraph Fun Instantiate List Parser

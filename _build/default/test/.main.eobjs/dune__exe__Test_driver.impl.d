@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Artemis List String

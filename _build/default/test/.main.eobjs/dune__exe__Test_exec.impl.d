@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Artemis_bench Artemis_codegen Artemis_dsl Artemis_exec Artemis_gpu Artemis_ir Ast Check Float Hashtbl Instantiate List Parser Printf

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Analysis Array Artemis Artemis_bench Artemis_codegen Artemis_dsl Artemis_exec Artemis_fuse Artemis_gpu Artemis_ir Ast Check Instantiate List Parser Printf

@@ -1,0 +1,1 @@
+test/test_fuse.ml: Alcotest Analysis Artemis_bench Artemis_dsl Artemis_exec Artemis_fuse Ast Check Instantiate List Parser Pretty

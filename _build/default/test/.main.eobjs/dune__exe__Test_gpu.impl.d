@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Artemis_gpu Coalesce Counters Device List Occupancy Timing

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Artemis_bench Artemis_dsl Artemis_gpu Artemis_ir Ast Instantiate List

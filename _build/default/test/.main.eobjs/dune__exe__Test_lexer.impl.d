@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Artemis_dsl Lexer List Printf

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Artemis_dsl Ast List Parser Pretty

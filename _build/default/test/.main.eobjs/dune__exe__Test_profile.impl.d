@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Artemis_bench Artemis_codegen Artemis_exec Artemis_gpu Artemis_profile List Util

@@ -1,0 +1,1 @@
+test/test_suite_bench.ml: Alcotest Analysis Array Artemis Artemis_baselines Artemis_bench Artemis_dsl Artemis_gpu Artemis_ir Ast Builder Instantiate List Printf

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Artemis_bench Artemis_codegen Artemis_dsl Artemis_exec Artemis_fuse Artemis_gpu Artemis_ir List Util

@@ -1,0 +1,1 @@
+test/test_tune.ml: Alcotest Array Artemis_bench Artemis_codegen Artemis_exec Artemis_gpu Artemis_ir Artemis_profile Artemis_tune List Printf

@@ -1,0 +1,1 @@
+test/util.ml: Array Artemis_codegen Artemis_gpu Artemis_ir

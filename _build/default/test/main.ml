@@ -1,0 +1,23 @@
+(* Test entry point: aggregates every suite; `dune runtest` runs it. *)
+
+let () =
+  Alcotest.run "artemis"
+    [
+      Test_lexer.tests;
+      Test_parser.tests;
+      Test_check.tests;
+      Test_analysis.tests;
+      Test_depgraph.tests;
+      Test_gpu.tests;
+      Test_ir.tests;
+      Test_exec.tests;
+      Test_traffic.tests;
+      Test_codegen.tests;
+      Test_profile.tests;
+      Test_tune.tests;
+      Test_fuse.tests;
+      Test_suite_bench.tests;
+      Test_driver.tests;
+      Test_extensions.tests;
+      Test_props.tests;
+    ]

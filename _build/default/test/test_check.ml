@@ -1,0 +1,94 @@
+(* Semantic-checker tests: each malformed program must be rejected with a
+   diagnostic; the well-formed corpus must pass. *)
+
+open Artemis_dsl
+
+let case name f = Alcotest.test_case name `Quick f
+
+let check_ok src = Check.check (Parser.parse_program src)
+
+let check_fails name src =
+  case name (fun () ->
+      match Check.check (Parser.parse_program src) with
+      | exception Check.Semantic_error _ -> ()
+      | () -> Alcotest.fail "expected Semantic_error")
+
+let tests =
+  ( "check",
+    [
+      case "valid program passes" (fun () ->
+          check_ok
+            {|parameter L=8; iterator k, j, i;
+              double u[L,L,L], v[L,L,L], s;
+              copyin u, v, s;
+              stencil s0 (x, y, w) { x[k][j][i] = w * y[k][j][i+1]; }
+              s0 (u, v, s);
+              copyout u;|});
+      check_fails "duplicate parameter"
+        {|parameter L=8, L=9; iterator i; double u[L];
+          stencil s0 (x) { x[i] = x[i]; } s0 (u);|};
+      check_fails "duplicate iterator"
+        {|parameter L=8; iterator i, i; double u[L];
+          stencil s0 (x) { x[i] = x[i]; } s0 (u);|};
+      check_fails "duplicate declaration"
+        {|parameter L=8; iterator i; double u[L], u[L];
+          stencil s0 (x) { x[i] = x[i]; } s0 (u);|};
+      check_fails "undeclared size parameter"
+        {|iterator i; double u[Z]; stencil s0 (x) { x[i] = x[i]; } s0 (u);|};
+      check_fails "copyin of undeclared name"
+        {|parameter L=8; iterator i; double u[L]; copyin nosuch;
+          stencil s0 (x) { x[i] = x[i]; } s0 (u);|};
+      check_fails "copyout of undeclared name"
+        {|parameter L=8; iterator i; double u[L];
+          stencil s0 (x) { x[i] = x[i]; } s0 (u); copyout nosuch;|};
+      check_fails "unknown name in body"
+        {|parameter L=8; iterator i; double u[L];
+          stencil s0 (x) { x[i] = y[i]; } s0 (u);|};
+      check_fails "rank mismatch within body"
+        {|parameter L=8; iterator k, j, i; double u[L,L,L];
+          stencil s0 (x) { x[k][j][i] = x[i]; } s0 (u);|};
+      check_fails "scalar used as array"
+        {|parameter L=8; iterator i; double u[L], s;
+          stencil s0 (x, w) { x[i] = w[i]; } s0 (u, s);|};
+      check_fails "undeclared iterator in index"
+        {|parameter L=8; iterator i; double u[L];
+          stencil s0 (x) { x[i] = x[z]; } s0 (u);|};
+      check_fails "iterators out of order in access"
+        {|parameter L=8; iterator k, j, i; double u[L,L,L];
+          stencil s0 (x) { x[k][j][i] = x[i][j][k]; } s0 (u);|};
+      check_fails "repeated iterator in access"
+        {|parameter L=8; iterator k, j, i; double u[L,L,L];
+          stencil s0 (x) { x[k][j][i] = x[k][k][i]; } s0 (u);|};
+      check_fails "unknown intrinsic"
+        {|parameter L=8; iterator i; double u[L];
+          stencil s0 (x) { x[i] = sinh(x[i]); } s0 (u);|};
+      check_fails "intrinsic arity"
+        {|parameter L=8; iterator i; double u[L];
+          stencil s0 (x) { x[i] = min(x[i]); } s0 (u);|};
+      check_fails "call to undefined stencil"
+        {|parameter L=8; iterator i; double u[L];
+          stencil s0 (x) { x[i] = x[i]; } s1 (u);|};
+      check_fails "call arity mismatch"
+        {|parameter L=8; iterator i; double u[L];
+          stencil s0 (x) { x[i] = x[i]; } s0 (u, u);|};
+      check_fails "call with undeclared actual"
+        {|parameter L=8; iterator i; double u[L];
+          stencil s0 (x) { x[i] = x[i]; } s0 (w);|};
+      check_fails "array rank mismatch at call"
+        {|parameter L=8; iterator k, j, i; double u[L,L,L], v[L];
+          stencil s0 (x) { x[k][j][i] = x[k][j][i]; } s0 (v);|};
+      check_fails "#assign of non-formal"
+        {|parameter L=8; iterator i; double u[L];
+          stencil s0 (x) { #assign shmem (zz); x[i] = x[i]; } s0 (u);|};
+      check_fails "swap of non-array"
+        {|parameter L=8; iterator i; double u[L], s;
+          stencil s0 (x) { x[i] = x[i]; }
+          iterate 2 { s0 (u); swap (u, s); }|};
+      check_fails "redefined temporary"
+        {|parameter L=8; iterator i; double u[L], w;
+          stencil s0 (x, v) { double t = v; double t = v; x[i] = t; } s0 (u, w);|};
+      case "benchmark suite programs all pass" (fun () ->
+          List.iter
+            (fun (b : Artemis_bench.Suite.t) -> Check.check b.prog)
+            Artemis_bench.Suite.all);
+    ] )

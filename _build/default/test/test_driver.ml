@@ -1,0 +1,100 @@
+(* End-to-end driver tests over the Artemis facade: the Section VII flow,
+   deep tuning, and the headline experiment directions (VIII-D, VIII-E). *)
+
+module Suite = Artemis.Suite
+module O = Artemis.Options
+
+let case name f = Alcotest.test_case name `Quick f
+
+let tests =
+  ( "driver",
+    [
+      case "parse_string checks semantics" (fun () ->
+          match Artemis.parse_string "iterator i; double u[Z];" with
+          | exception Artemis.Check.Semantic_error _ -> ()
+          | _ -> Alcotest.fail "expected Semantic_error");
+      case "optimize_kernel never loses to its baseline" (fun () ->
+          List.iter
+            (fun bname ->
+              let k = List.hd (Suite.kernels (Suite.find bname)) in
+              let r = Artemis.optimize_kernel k in
+              Alcotest.(check bool) bname true (r.tuned.tflops >= r.baseline.tflops))
+            [ "7pt-smoother"; "helmholtz"; "rhs4center" ]);
+      case "register-pressured multi-output kernels get fission candidates"
+        (fun () ->
+          let k = List.hd (Suite.kernels (Suite.find "rhs4sgcurv")) in
+          let r = Artemis.optimize_kernel k in
+          Alcotest.(check bool) "candidates" true (r.fission_candidates <> []));
+      case "single-output kernels never get fission candidates" (fun () ->
+          let k = List.hd (Suite.kernels (Suite.find "7pt-smoother")) in
+          let r = Artemis.optimize_kernel ~iterative:true k in
+          Alcotest.(check (list int)) "none" []
+            (List.map List.length r.fission_candidates));
+      case "deep tuning: fusion helps then stops (Fig 4 cusp)" (fun () ->
+          let b = Suite.find "7pt-smoother" in
+          let dr = Artemis.deep_tune ~max_tile:5 b.prog in
+          let per_sweep =
+            List.map (fun (v : Artemis.Deep.version) -> v.time_per_sweep)
+              dr.deep.versions
+          in
+          (match per_sweep with
+           | t1 :: t2 :: _ -> Alcotest.(check bool) "2x1 beats 1x1" true (t2 < t1)
+           | _ -> Alcotest.fail "too few versions");
+          Alcotest.(check bool) "cusp within 5 (paper: <= 4)" true
+            (dr.deep.cusp <= 5 && dr.deep.cusp >= 2);
+          Alcotest.(check int) "schedule covers T=12" 12
+            (List.fold_left ( + ) 0 dr.schedule));
+      case "deep tuning rejects programs without a time loop" (fun () ->
+          let b = Suite.find "hypterm" in
+          match Artemis.deep_tune b.prog with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "expected Invalid_argument");
+      case "VIII-D: trivial fission beats maxfuse for rhs4sgcurv" (fun () ->
+          let k = List.hd (Suite.kernels (Suite.find "rhs4sgcurv")) in
+          let maxfuse = (Artemis.optimize_kernel k).tuned in
+          let parts = Artemis.Fission.trivial k in
+          let time = ref 0.0 and flops = ref 0.0 in
+          List.iter
+            (fun sub ->
+              let r = Artemis.optimize_kernel sub in
+              time := !time +. r.tuned.time_s;
+              flops := !flops +. r.tuned.counters.useful_flops)
+            parts;
+          let fission_tf = !flops /. !time /. 1e12 in
+          Alcotest.(check bool) "fission wins clearly" true
+            (fission_tf > 1.5 *. maxfuse.tflops));
+      case "VIII-E: user assignment helps addsgd4" (fun () ->
+          let k = List.hd (Suite.kernels (Suite.find "addsgd4")) in
+          let without =
+            (Artemis.optimize_kernel ~opts:{ O.default with O.honor_user_assign = false } k)
+              .tuned.tflops
+          in
+          let with_ = (Artemis.optimize_kernel k).tuned.tflops in
+          Alcotest.(check bool) "improvement" true (with_ > without));
+      case "cuda_of produces a kernel for the tuned plan" (fun () ->
+          let k = List.hd (Suite.kernels (Suite.at_size 64 (Suite.find "helmholtz"))) in
+          let r = Artemis.optimize_kernel k in
+          let src = Artemis.cuda_of r in
+          Alcotest.(check bool) "has kernel" true
+            (String.length src > 200));
+      case "report renders with all sections" (fun () ->
+          let k = List.hd (Suite.kernels (Suite.at_size 64 (Suite.find "7pt-smoother"))) in
+          let r = Artemis.optimize_kernel ~iterative:true k in
+          let report = Artemis.report_of r in
+          List.iter
+            (fun needle ->
+              let has =
+                let ln = String.length needle and ls = String.length report in
+                let rec go i =
+                  i + ln <= ls && (String.sub report i ln = needle || go (i + 1))
+                in
+                go 0
+              in
+              Alcotest.(check bool) needle true has)
+            [ "stencil"; "baseline (from pragma)"; "tuned"; "tuning";
+              "flops per point : 10"; "bottleneck"; "configurations measured" ]);
+      case "first_kernel flattens time loops" (fun () ->
+          let b = Suite.find "7pt-smoother" in
+          let k = Artemis.first_kernel b.prog in
+          Alcotest.(check string) "name" "jacobi7" k.Artemis.Instantiate.kname);
+    ] )

@@ -1,0 +1,58 @@
+(* Lexer unit tests. *)
+
+open Artemis_dsl
+module L = Lexer
+
+let toks src = List.map fst (L.tokenize src)
+
+let check_toks name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let got = toks src in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s tokens" name)
+        true
+        (got = expected @ [ L.EOF ]))
+
+let case name f = Alcotest.test_case name `Quick f
+
+let tests =
+  ( "lexer",
+    [
+      check_toks "empty" "" [];
+      check_toks "idents and keywords" "parameter iterator double stencil foo"
+        [ L.KW_PARAMETER; L.KW_ITERATOR; L.KW_DOUBLE; L.KW_STENCIL; L.IDENT "foo" ];
+      check_toks "integers" "0 42 512" [ L.INT 0; L.INT 42; L.INT 512 ];
+      check_toks "floats" "6.0 0.5 1e-3 2.5E+2"
+        [ L.FLOAT 6.0; L.FLOAT 0.5; L.FLOAT 1e-3; L.FLOAT 250.0 ];
+      check_toks "operators" "+ - * / = +="
+        [ L.PLUS; L.MINUS; L.STAR; L.SLASH; L.EQ; L.PLUSEQ ];
+      check_toks "punctuation" "( ) [ ] { } , ;"
+        [ L.LPAREN; L.RPAREN; L.LBRACKET; L.RBRACKET; L.LBRACE; L.RBRACE;
+          L.COMMA; L.SEMI ];
+      check_toks "directives" "#pragma #assign" [ L.KW_PRAGMA; L.KW_ASSIGN ];
+      check_toks "access" "A[k][j][i+1]"
+        [ L.IDENT "A"; L.LBRACKET; L.IDENT "k"; L.RBRACKET; L.LBRACKET;
+          L.IDENT "j"; L.RBRACKET; L.LBRACKET; L.IDENT "i"; L.PLUS; L.INT 1;
+          L.RBRACKET ];
+      check_toks "line comment" "a // comment here\nb" [ L.IDENT "a"; L.IDENT "b" ];
+      check_toks "block comment" "a /* multi\nline */ b" [ L.IDENT "a"; L.IDENT "b" ];
+      check_toks "underscore idents" "_tmp my_var2" [ L.IDENT "_tmp"; L.IDENT "my_var2" ];
+      case "line numbers advance" (fun () ->
+          let t = L.tokenize "a\nb\n\nc" in
+          let lines = List.filter_map (fun (tok, l) -> if tok = L.EOF then None else Some l) t in
+          Alcotest.(check (list int)) "lines" [ 1; 2; 4 ] lines);
+      case "unknown directive rejected" (fun () ->
+          Alcotest.check_raises "raises" (L.Lex_error ("unknown directive #define", 1))
+            (fun () -> ignore (L.tokenize "#define")));
+      case "bad character rejected" (fun () ->
+          match L.tokenize "a $ b" with
+          | exception L.Lex_error (_, 1) -> ()
+          | _ -> Alcotest.fail "expected Lex_error");
+      case "unterminated comment rejected" (fun () ->
+          match L.tokenize "/* never closed" with
+          | exception L.Lex_error (_, _) -> ()
+          | _ -> Alcotest.fail "expected Lex_error");
+      case "keywords are not prefixes" (fun () ->
+          Alcotest.(check bool) "stencils is ident" true
+            (toks "stencils" = [ L.IDENT "stencils"; L.EOF ]));
+    ] )

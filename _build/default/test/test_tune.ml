@@ -1,0 +1,163 @@
+(* Autotuner tests: search-space pruning rules, hierarchical tuning
+   behaviour, the fusion dynamic program (checked against brute force),
+   and the OpenTuner-style baseline cost comparison. *)
+
+module Plan = Artemis_ir.Plan
+module Space = Artemis_tune.Space
+module H = Artemis_tune.Hierarchical
+module Deep = Artemis_tune.Deep
+module Ot = Artemis_tune.Opentuner_sim
+module E = Artemis_exec
+module O = Artemis_codegen.Options
+module Lower = Artemis_codegen.Lower
+module Suite = Artemis_bench.Suite
+
+let case name f = Alcotest.test_case name `Quick f
+let dev = Artemis_gpu.Device.p100
+
+let jacobi ?(n = 64) () =
+  List.hd (Suite.kernels (Suite.at_size n (Suite.find "7pt-smoother")))
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let tests =
+  ( "tune",
+    [
+      case "block candidates are powers of two in [4,256]" (fun () ->
+          let cands =
+            Space.block_candidates ~rank:3 ~scheme:(Plan.Serial_stream 0)
+              ~max_threads:1024
+          in
+          Alcotest.(check bool) "non-empty" true (cands <> []);
+          List.iter
+            (fun b ->
+              Alcotest.(check bool) "stream dim = 1" true (b.(0) = 1);
+              Array.iteri
+                (fun d e ->
+                  if d > 0 then
+                    Alcotest.(check bool) "pow2 in range" true
+                      (is_pow2 e && e >= 4 && e <= 256))
+                b;
+              Alcotest.(check bool) "thread cap" true
+                (Array.fold_left ( * ) 1 b <= 1024))
+            cands);
+      case "unroll candidates bounded and ordered by product" (fun () ->
+          let cands =
+            Space.unroll_candidates ~rank:3 ~scheme:(Plan.Serial_stream 0) ~bound:8
+          in
+          List.iter
+            (fun u -> Array.iter (fun f -> Alcotest.(check bool) "<=8" true (f <= 8)) u)
+            cands;
+          let products = List.map (Array.fold_left ( * ) 1) cands in
+          let sorted = List.sort compare products in
+          Alcotest.(check (list int)) "monotone order" sorted products);
+      case "register stepping picks the smallest non-spill budget" (fun () ->
+          let k = jacobi () in
+          let p = Lower.lower dev k O.default in
+          match Space.min_nonspill_regs p with
+          | Some r -> Alcotest.(check int) "jacobi fits in 64" 64 r
+          | None -> Alcotest.fail "expected a step");
+      case "no non-spill step for rhs4sgcurv maxfuse" (fun () ->
+          let k = List.hd (Suite.kernels (Suite.at_size 32 (Suite.find "rhs4sgcurv"))) in
+          let p = Lower.lower dev k O.default in
+          Alcotest.(check bool) "spills at every step" true
+            (Space.min_nonspill_regs p = None));
+      case "hierarchical tuning improves on the baseline" (fun () ->
+          let k = jacobi () in
+          let base = Lower.lower dev k O.default in
+          match H.tune base with
+          | Some r ->
+            let baseline = E.Analytic.measure base in
+            Alcotest.(check bool) "no worse" true (r.best.tflops >= baseline.tflops);
+            Alcotest.(check bool) "explored plenty" true (r.explored > 20)
+          | None -> Alcotest.fail "tuning found nothing");
+      case "phase 2 refinements cannot lose to phase 1" (fun () ->
+          let k = jacobi () in
+          let base = Lower.lower dev k O.default in
+          match H.tune base with
+          | Some r ->
+            Alcotest.(check bool) "best >= phase1" true
+              (r.best.tflops >= r.phase1_best.tflops)
+          | None -> Alcotest.fail "tuning found nothing");
+      case "disabling unroll shrinks the space" (fun () ->
+          let k = jacobi () in
+          let base = Lower.lower dev k O.default in
+          let full = H.tune base in
+          let pruned =
+            H.tune ~knobs:{ H.default_knobs with H.try_unroll = false } base
+          in
+          match (full, pruned) with
+          | Some f, Some p ->
+            Alcotest.(check bool) "fewer configs" true (p.explored < f.explored)
+          | _ -> Alcotest.fail "tuning found nothing");
+      case "hierarchical explores far fewer configs than exhaustive" (fun () ->
+          let k = jacobi () in
+          let base = Lower.lower dev k O.default in
+          let h = H.tune base in
+          let ot = Ot.tune ~budget:500 base in
+          match h with
+          | Some h ->
+            Alcotest.(check bool) "space is larger" true (ot.space_size > h.explored * 3)
+          | None -> Alcotest.fail "tuning found nothing");
+      case "exhaustive never finds a much better plan than hierarchical"
+        (fun () ->
+          (* quality check on a reduced exhaustive space *)
+          let k = jacobi ~n:32 () in
+          let base = Lower.lower dev k O.default in
+          match (H.tune base, (Ot.tune ~budget:2000 base).best) with
+          | Some h, Some o ->
+            Alcotest.(check bool) "within 25%" true (h.best.tflops >= 0.75 *. o.tflops)
+          | _ -> Alcotest.fail "tuning found nothing");
+      case "fusion DP equals brute force" (fun () ->
+          (* synthetic version table exercising non-trivial compositions *)
+          let mk tt time =
+            {
+              Deep.time_tile = tt;
+              record =
+                (let k = jacobi ~n:16 () in
+                 let base = Lower.lower dev k O.default in
+                 let m = E.Analytic.measure base in
+                 let m = { m with E.Analytic.time_s = time } in
+                 { H.best = m; explored = 0; phase1_best = m; history = [] });
+              profile =
+                Artemis_profile.Classify.classify dev Artemis_gpu.Counters.zero
+                  ~time_s:1.0;
+              time_per_sweep = time /. float_of_int tt;
+            }
+          in
+          let r =
+            { Deep.versions = [ mk 1 1.0; mk 2 1.7; mk 3 2.1; mk 4 2.9 ];
+              cusp = 3; tipping_point = 4 }
+          in
+          List.iter
+            (fun t ->
+              let _, dp_cost = Deep.optimal_schedule r ~t in
+              let _, bf_cost = Deep.brute_force_schedule r ~t in
+              Alcotest.(check (float 1e-9)) (Printf.sprintf "T=%d" t) bf_cost dp_cost)
+            [ 1; 2; 3; 5; 7; 12; 13; 25 ]);
+      case "fusion schedule covers T exactly" (fun () ->
+          let k = jacobi () in
+          let plan_of fused = Lower.lower dev fused O.default in
+          let r = Deep.explore ~max_tile:3 ~plan_of k ~out:"out" ~inp:"in" in
+          List.iter
+            (fun t ->
+              let sched, _ = Deep.optimal_schedule r ~t in
+              Alcotest.(check int) (Printf.sprintf "sum=%d" t) t
+                (List.fold_left ( + ) 0 sched))
+            [ 1; 4; 9; 13 ]);
+      case "deep exploration stops when no longer bandwidth bound" (fun () ->
+          let k = jacobi () in
+          let plan_of fused = Lower.lower dev fused O.default in
+          let r = Deep.explore ~max_tile:6 ~plan_of k ~out:"out" ~inp:"in" in
+          Alcotest.(check bool) "at most 6 versions" true
+            (List.length r.versions <= 6);
+          Alcotest.(check bool) "tipping <= 6 (paper: under 4 for all)" true
+            (r.tipping_point <= 6));
+      case "optimal_schedule rejects negative T" (fun () ->
+          let k = jacobi ~n:16 () in
+          let plan_of fused = Lower.lower dev fused O.default in
+          let r = Deep.explore ~max_tile:1 ~plan_of k ~out:"out" ~inp:"in" in
+          Alcotest.check_raises "invalid"
+            (Invalid_argument "optimal_schedule: negative iteration count")
+            (fun () -> ignore (Deep.optimal_schedule r ~t:(-1))));
+    ] )
