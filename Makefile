@@ -1,0 +1,35 @@
+# Convenience targets; the source of truth is dune.
+
+TRACE   := /tmp/artemis-trace.json
+REPORT  := /tmp/artemis-report.json
+
+.PHONY: all build test check bench trace-smoke clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# What CI runs: everything must compile and the full suite must pass.
+check:
+	dune build @all
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# End-to-end observability smoke test: record a trace + JSON report on
+# the Jacobi example, then validate both by parsing them back.
+trace-smoke:
+	dune exec bin/artemisc.exe -- optimize examples/jacobi.stc \
+	  --trace $(TRACE) --report-json $(REPORT) -o /dev/null
+	dune exec bin/artemisc.exe -- trace-info $(TRACE)
+	@grep -q '"schema_version"' $(REPORT) && echo "report OK: $(REPORT)"
+	@rm -f examples/jacobi.stc.report.txt examples/jacobi.stc.*-fission.stc
+
+clean:
+	dune clean
+	rm -f $(TRACE) $(REPORT)

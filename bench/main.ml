@@ -22,6 +22,46 @@ let dev = Artemis.Device.p100
 let header title = Printf.printf "\n=== %s ===\n%!" title
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results (BENCH_results.json)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-benchmark headline numbers, accumulated as metrics gauges during
+   fig5 and dumped — together with the full metrics snapshot — so the
+   perf-trajectory BENCH files can accumulate across runs. *)
+let bench_results : (string * float * float * string) list ref = ref []
+
+let record_bench name ~time_s ~tflops ~bottleneck =
+  bench_results := (name, time_s, tflops, bottleneck) :: !bench_results;
+  let module M = Artemis.Metrics in
+  M.set (M.gauge "bench.tflops" ~labels:[ ("bench", name) ]) tflops;
+  M.set (M.gauge "bench.time_s" ~labels:[ ("bench", name) ]) time_s;
+  M.incr (M.counter "bench.runs" ~labels:[ ("bench", name); ("bottleneck", bottleneck) ])
+
+let write_bench_results () =
+  match List.rev !bench_results with
+  | [] -> ()
+  | results ->
+    let module J = Artemis.Json in
+    let doc =
+      J.Obj
+        [ ("schema_version", J.Int 1);
+          ("results",
+           J.List
+             (List.map
+                (fun (name, time_s, tflops, bottleneck) ->
+                  J.Obj
+                    [ ("name", J.Str name); ("time_s", J.Float time_s);
+                      ("tflops", J.Float tflops); ("bottleneck", J.Str bottleneck) ])
+                results));
+          ("metrics", Artemis.Metrics.snapshot ()) ]
+    in
+    let oc = open_out "BENCH_results.json" in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (J.to_string ~indent:true doc));
+    Printf.printf "\nwrote BENCH_results.json (%d benchmarks)\n%!" (List.length results)
+
+(* ------------------------------------------------------------------ *)
 (* Shared tuning wrappers                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -256,8 +296,39 @@ let fig5 () =
       let global = aggregate ks (tune_global `Tiled) in
       let sgen = stencilgen_result b in
       let artemis =
-        if b.iterative then fst (artemis_iterative b)
-        else aggregate (artemis_kernels b) (fun k -> tune_artemis k)
+        if b.iterative then begin
+          let tf, dr = artemis_iterative b in
+          let best =
+            List.fold_left
+              (fun acc (v : Artemis.Deep.version) ->
+                match acc with
+                | Some (a : Artemis.Deep.version)
+                  when a.time_per_sweep <= v.time_per_sweep -> acc
+                | _ -> Some v)
+              None dr.deep.versions
+          in
+          (match best with
+           | Some v ->
+             record_bench b.name ~time_s:v.record.best.time_s ~tflops:tf
+               ~bottleneck:(Artemis.Classify.verdict_tag v.profile.verdict)
+           | None -> ());
+          tf
+        end
+        else begin
+          (* Bottleneck reported for the benchmark is the verdict of its
+             last kernel's tuned version. *)
+          let verdict = ref "unknown" in
+          let time = ref 0.0 in
+          let tf =
+            aggregate (artemis_kernels b) (fun k ->
+                let r = Artemis.optimize_kernel k in
+                verdict := Artemis.Classify.verdict_tag r.tuned_profile.verdict;
+                time := !time +. r.tuned.time_s;
+                Some (r.tuned.time_s, r.tuned.counters.useful_flops))
+          in
+          record_bench b.name ~time_s:!time ~tflops:tf ~bottleneck:!verdict;
+          tf
+        end
       in
       Printf.printf "%-14s %7.3f %9.3f %7.3f %11s %8.3f\n%!" b.name ppcg gstream
         global
@@ -557,4 +628,5 @@ let () =
         Printf.eprintf "unknown experiment %s (available: %s)\n" name
           (String.concat ", " (List.map fst all_experiments));
         exit 1)
-    requested
+    requested;
+  write_bench_results ()

@@ -6,9 +6,16 @@
      artemisc optimize prog.stc     # profile -> tune -> hints -> CUDA
      artemisc deep     prog.stc     # deep tuning of an iterative program
      artemisc check    prog.stc     # parse + semantic check only
-     artemisc bench <name>          # run one suite benchmark end to end *)
+     artemisc bench <name>          # run one suite benchmark end to end
+     artemisc trace-info t.json     # summarize a recorded trace
+
+   Every subcommand accepts --trace FILE (or ARTEMIS_TRACE=FILE) to
+   record a Chrome trace-event JSON of the run; optimize and deep also
+   take --report-json FILE for the structured optimization report. *)
 
 open Cmdliner
+module Json = Artemis.Json
+module Trace = Artemis.Trace
 
 let read_program path =
   try `Ok (Artemis.parse_file path) with
@@ -26,19 +33,70 @@ let out_arg =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
          ~doc:"Write generated CUDA to $(docv) instead of stdout")
 
+let trace_arg =
+  let env =
+    Cmd.Env.info "ARTEMIS_TRACE"
+      ~doc:"Trace output file, like $(b,--trace); the flag wins when both are set."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE" ~env
+           ~doc:"Record a Chrome trace-event JSON of this run to $(docv) \
+                 (open in chrome://tracing or ui.perfetto.dev)")
+
+let report_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "report-json" ] ~docv:"FILE"
+           ~doc:"Write the structured optimization report as JSON to $(docv)")
+
+(** Write [text] to [path], closing the channel even on failure, and
+    surfacing I/O errors as a cmdliner result instead of an uncaught
+    [Sys_error]. *)
+let write_file path text =
+  match open_out path with
+  | exception Sys_error msg -> `Error (false, msg)
+  | oc -> (
+    match
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+          output_string oc text)
+    with
+    | () ->
+      Printf.printf "wrote %s\n" path;
+      `Ok ()
+    | exception Sys_error msg -> `Error (false, msg))
+
 let write_output out text =
   match out with
+  | Some path -> write_file path text
+  | None ->
+    print_string text;
+    `Ok ()
+
+(** Sequence cmdliner results: run [g] only when [f] succeeded. *)
+let ( >>? ) f g = match f with `Ok () -> g () | `Error _ as e -> e
+
+(** Run [f] with tracing sunk to [trace] (when given).  The trace file is
+    written even when [f] fails, so aborted runs stay inspectable. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
   | Some path ->
-    let oc = open_out path in
-    output_string oc text;
-    close_out oc;
-    Printf.printf "wrote %s\n" path
-  | None -> print_string text
+    Trace.start ();
+    let result = try f () with e -> Trace.stop (); raise e in
+    Trace.stop ();
+    (match Trace.write path with
+     | () ->
+       Printf.printf "wrote %s (%d trace events)\n" path (Trace.event_count ());
+       result
+     | exception Sys_error msg -> (
+       match result with
+       | `Ok () -> `Error (false, msg)
+       | other -> other))
 
 (* ---------------- check ---------------- *)
 
 let check_cmd =
-  let run path =
+  let run trace path =
+    with_trace trace @@ fun () ->
     match read_program path with
     | `Ok prog ->
       let n_kernels = Artemis.Instantiate.launch_count (Artemis.Instantiate.schedule prog) in
@@ -48,12 +106,13 @@ let check_cmd =
     | `Error _ as e -> e
   in
   Cmd.v (Cmd.info "check" ~doc:"Parse and semantically check a DSL program")
-    Term.(ret (const run $ path_arg))
+    Term.(ret (const run $ trace_arg $ path_arg))
 
 (* ---------------- compile ---------------- *)
 
 let compile_cmd =
-  let run path out =
+  let run trace path out =
+    with_trace trace @@ fun () ->
     match read_program path with
     | `Ok prog ->
       let k = Artemis.first_kernel prog in
@@ -61,14 +120,13 @@ let compile_cmd =
         Artemis.Lower.lower_with_pragma Artemis.Device.p100 k Artemis.Options.default
       in
       Artemis.Validate.check plan;
-      write_output out (Artemis.Cuda.emit plan);
-      `Ok ()
+      write_output out (Artemis.Cuda.emit plan)
     | `Error _ as e -> e
   in
   Cmd.v
     (Cmd.info "compile"
        ~doc:"Generate the baseline CUDA version from the program's pragma")
-    Term.(ret (const run $ path_arg $ out_arg))
+    Term.(ret (const run $ trace_arg $ path_arg $ out_arg))
 
 (* ---------------- optimize ---------------- *)
 
@@ -77,7 +135,8 @@ let optimize_cmd =
     Arg.(value & flag & info [ "iterative" ]
            ~doc:"Apply the fusion guideline for time-iterated stencils")
   in
-  let run path out iterative =
+  let run trace path out iterative report_json =
+    with_trace trace @@ fun () ->
     match read_program path with
     | `Ok prog ->
       let k = Artemis.first_kernel prog in
@@ -93,33 +152,54 @@ let optimize_cmd =
             (match h.severity with `Info -> "info" | `Advice -> "hint")
             h.text)
         r.hints;
-      List.iteri
-        (fun i parts ->
-          let name = if i = 0 then "trivial" else "recompute" in
-          Printf.printf "fission candidate (%s): %d sub-kernels\n" name
-            (List.length parts);
-          let dsl = Artemis.Fission.to_dsl k parts in
-          let path = Printf.sprintf "%s.%s-fission.stc" path name in
-          let oc = open_out path in
-          output_string oc (Artemis.Pretty.program_to_string dsl);
-          close_out oc;
-          Printf.printf "  wrote %s\n" path)
-        r.fission_candidates;
-      let report_path = path ^ ".report.txt" in
-      let oc = open_out report_path in
-      output_string oc (Artemis.report_of r);
-      close_out oc;
-      Printf.printf "wrote %s\n" report_path;
-      write_output out (Artemis.cuda_of r);
-      `Ok ()
+      let fission_results =
+        List.mapi
+          (fun i parts ->
+            let name = if i = 0 then "trivial" else "recompute" in
+            Printf.printf "fission candidate (%s): %d sub-kernels\n" name
+              (List.length parts);
+            let dsl = Artemis.Fission.to_dsl k parts in
+            let fpath = Printf.sprintf "%s.%s-fission.stc" path name in
+            write_file fpath (Artemis.Pretty.program_to_string dsl))
+          r.fission_candidates
+      in
+      List.fold_left ( >>? ) (`Ok ()) (List.map (fun r () -> r) fission_results)
+      >>? (fun () -> write_file (path ^ ".report.txt") (Artemis.report_of r))
+      >>? (fun () ->
+        match report_json with
+        | Some jpath -> write_file jpath (Artemis.report_json_of r)
+        | None -> `Ok ())
+      >>? fun () -> write_output out (Artemis.cuda_of r)
     | `Error _ as e -> e
   in
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Profile, hierarchically autotune, and emit the best CUDA version")
-    Term.(ret (const run $ path_arg $ out_arg $ iterative))
+    Term.(ret (const run $ trace_arg $ path_arg $ out_arg $ iterative $ report_json_arg))
 
 (* ---------------- deep ---------------- *)
+
+let deep_json (dr : Artemis.deep_result) schedule time =
+  Json.Obj
+    [ ("schema_version", Json.Int 1);
+      ("versions",
+       Json.List
+         (List.map
+            (fun (v : Artemis.Deep.version) ->
+              Json.Obj
+                [ ("time_tile", Json.Int v.time_tile);
+                  ("plan", Json.Str (Artemis.Plan.label v.record.best.plan));
+                  ("tflops", Json.Float v.record.best.tflops);
+                  ("time_s", Json.Float v.record.best.time_s);
+                  ("time_per_sweep", Json.Float v.time_per_sweep);
+                  ("verdict",
+                   Json.Str (Artemis.Classify.verdict_to_string v.profile.verdict));
+                  ("explored", Json.Int v.record.explored) ])
+            dr.deep.versions));
+      ("cusp", Json.Int dr.deep.cusp);
+      ("tipping_point", Json.Int dr.deep.tipping_point);
+      ("schedule", Json.List (List.map (fun x -> Json.Int x) schedule));
+      ("predicted_time_s", Json.Float time) ]
 
 let deep_cmd =
   let iterations =
@@ -127,7 +207,8 @@ let deep_cmd =
            ~doc:"Build the fusion schedule for $(docv) iterations instead of \
                  the program's own count")
   in
-  let run path iterations =
+  let run trace path iterations report_json =
+    with_trace trace @@ fun () ->
     match read_program path with
     | `Ok prog -> (
       try
@@ -146,14 +227,17 @@ let deep_cmd =
         Printf.printf "fusion schedule: [%s]  (predicted %.3e s)\n"
           (String.concat "; " (List.map string_of_int schedule))
           time;
-        `Ok ()
+        match report_json with
+        | Some jpath ->
+          write_file jpath (Json.to_string ~indent:true (deep_json dr schedule time))
+        | None -> `Ok ()
       with Invalid_argument msg -> `Error (false, msg))
     | `Error _ as e -> e
   in
   Cmd.v
     (Cmd.info "deep"
        ~doc:"Deep-tune an iterative ping-pong program (Section VI-A)")
-    Term.(ret (const run $ path_arg $ iterations))
+    Term.(ret (const run $ trace_arg $ path_arg $ iterations $ report_json_arg))
 
 (* ---------------- bench ---------------- *)
 
@@ -162,7 +246,8 @@ let bench_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
            ~doc:"Suite benchmark name (see 'artemisc list')")
   in
-  let run name =
+  let run trace name =
+    with_trace trace @@ fun () ->
     match Artemis.Suite.find name with
     | exception Invalid_argument msg -> `Error (false, msg)
     | b ->
@@ -176,10 +261,11 @@ let bench_cmd =
       `Ok ()
   in
   Cmd.v (Cmd.info "bench" ~doc:"Optimize one Table-I benchmark end to end")
-    Term.(ret (const run $ name_arg))
+    Term.(ret (const run $ trace_arg $ name_arg))
 
 let list_cmd =
-  let run () =
+  let run trace () =
+    with_trace trace @@ fun () ->
     List.iter
       (fun (b : Artemis.Suite.t) ->
         Printf.printf "%-14s %s, %d^3%s\n" b.name
@@ -190,12 +276,68 @@ let list_cmd =
     `Ok ()
   in
   Cmd.v (Cmd.info "list" ~doc:"List the Table-I benchmarks")
-    Term.(ret (const run $ const ()))
+    Term.(ret (const run $ trace_arg $ const ()))
+
+(* ---------------- trace-info ---------------- *)
+
+let trace_info_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.json"
+           ~doc:"A trace file recorded with --trace")
+  in
+  let run path =
+    let src =
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.parse src with
+    | exception Json.Parse_error msg ->
+      `Error (false, Printf.sprintf "%s: invalid JSON: %s" path msg)
+    | doc -> (
+      match Option.bind (Json.member "traceEvents" doc) Json.to_list_opt with
+      | None -> `Error (false, path ^ ": not a Chrome trace (no traceEvents array)")
+      | Some events ->
+        (* Total span time and event counts per name. *)
+        let tbl : (string, int * float) Hashtbl.t = Hashtbl.create 16 in
+        List.iter
+          (fun ev ->
+            let name =
+              Option.bind (Json.member "name" ev) Json.to_string_opt
+              |> Option.value ~default:"?"
+            in
+            let dur =
+              Option.bind (Json.member "dur" ev) Json.to_float_opt
+              |> Option.value ~default:0.0
+            in
+            let n, d = Option.value ~default:(0, 0.0) (Hashtbl.find_opt tbl name) in
+            Hashtbl.replace tbl name (n + 1, d +. dur))
+          events;
+        Printf.printf "%s: %d events\n" path (List.length events);
+        let rows = Hashtbl.fold (fun name nd acc -> (name, nd) :: acc) tbl [] in
+        let rows =
+          List.sort (fun (_, (_, a)) (_, (_, b)) -> compare b a) rows
+        in
+        Printf.printf "%-24s %8s %12s\n" "name" "count" "total ms";
+        List.iter
+          (fun (name, (n, dur_us)) ->
+            Printf.printf "%-24s %8d %12.3f\n" name n (dur_us /. 1e3))
+          rows;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "trace-info"
+       ~doc:"Validate a recorded trace file and summarize its events")
+    Term.(ret (const run $ file_arg))
 
 let () =
   let info =
     Cmd.info "artemisc" ~version:Artemis.version
       ~doc:"ARTEMIS stencil code generator (OCaml reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ check_cmd; compile_cmd; optimize_cmd; deep_cmd;
-                                   bench_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ check_cmd; compile_cmd; optimize_cmd; deep_cmd; bench_cmd; list_cmd;
+            trace_info_cmd ]))

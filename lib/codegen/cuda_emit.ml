@@ -140,7 +140,13 @@ let emit_stmt (p : Plan.t) (k : I.kernel) bufs si_guard (st : A.stmt) =
   if guard = "1" then line "    %s" body else line "    if (%s) %s" guard body
 
 (** Emit the CUDA source (kernel + host launcher) of a plan. *)
+let m_emissions = Artemis_obs.Metrics.counter "codegen.emissions"
+
 let emit (p : Plan.t) =
+  Artemis_obs.Trace.with_span "codegen.emit"
+    ~attrs:[ ("kernel", Str p.kernel.kname); ("plan", Str (Plan.label p)) ]
+  @@ fun () ->
+  Artemis_obs.Metrics.incr m_emissions;
   Buffer.clear buf;
   let k = p.kernel in
   let rank = Array.length k.domain in

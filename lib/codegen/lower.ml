@@ -13,6 +13,10 @@ module An = Artemis_dsl.Analysis
 module I = Artemis_dsl.Instantiate
 module Plan = Artemis_ir.Plan
 module Device = Artemis_gpu.Device
+module Trace = Artemis_obs.Trace
+module Metrics = Artemis_obs.Metrics
+
+let m_plans = Metrics.counter "lower.plans"
 
 (* Default block shapes, matching the paper's Section VIII-G baselines:
    (x=32,y=16) for streamed iterative stencils, (x=16,y=16) for streamed
@@ -47,6 +51,8 @@ let resolve_scheme rank (o : Options.t) =
     The returned plan is not yet validated — tuners filter with
     [Validate.violations]; direct users call [Validate.check]. *)
 let lower (device : Device.t) (kernel : I.kernel) (o : Options.t) =
+  Trace.with_span "lower.plan" ~attrs:[ ("kernel", Str kernel.kname) ] @@ fun () ->
+  Metrics.incr m_plans;
   let rank = Array.length kernel.domain in
   let scheme = resolve_scheme rank o in
   let block =
@@ -108,5 +114,7 @@ let lower (device : Device.t) (kernel : I.kernel) (o : Options.t) =
 (** Lower applying the kernel's own pragma as the option base — what the
     CLI does for an un-tuned "baseline version" (Section VII, step 1). *)
 let lower_with_pragma (device : Device.t) (kernel : I.kernel) (o : Options.t) =
+  Trace.with_span "lower.with_pragma" ~attrs:[ ("kernel", Str kernel.kname) ]
+  @@ fun () ->
   let o = Options.of_pragma ~base:o kernel.iters kernel.pragma in
   lower device kernel o

@@ -41,6 +41,10 @@ module Deep = Artemis_tune.Deep
 module Fusion = Artemis_fuse.Fusion
 module Fission = Artemis_fuse.Fission
 module Suite = Artemis_bench.Suite
+module Obs = Artemis_obs
+module Trace = Artemis_obs.Trace
+module Metrics = Artemis_obs.Metrics
+module Json = Artemis_obs.Json
 
 let version = "1.0.0"
 
@@ -77,19 +81,24 @@ let profile_measurement (m : Analytic.measurement) =
     guideline; use [deep_tune] for the full variable-T flow. *)
 let optimize_kernel ?(device = Device.p100) ?(iterative = false)
     ?(opts = Options.default) (kernel : Instantiate.kernel) =
+  Trace.with_span "optimize.kernel" ~attrs:[ ("kernel", Str kernel.kname) ]
+  @@ fun () ->
   (* Step 1: baseline from the pragma. *)
-  let baseline_plan = Lower.lower_with_pragma device kernel opts in
-  let baseline =
-    match Analytic.try_measure baseline_plan with
-    | Some m -> m
-    | None ->
-      (* The pragma's block shape may not be launchable under the kernel's
-         register pressure; fall back to a small tiled shape. *)
-      Analytic.measure
-        (Lower.lower device kernel
-           { opts with Options.block = None; scheme = Options.Force_tiled })
+  let baseline, baseline_profile =
+    Trace.with_span "optimize.baseline" @@ fun () ->
+    let baseline_plan = Lower.lower_with_pragma device kernel opts in
+    let baseline =
+      match Analytic.try_measure baseline_plan with
+      | Some m -> m
+      | None ->
+        (* The pragma's block shape may not be launchable under the kernel's
+           register pressure; fall back to a small tiled shape. *)
+        Analytic.measure
+          (Lower.lower device kernel
+             { opts with Options.block = None; scheme = Options.Force_tiled })
+    in
+    (baseline, profile_measurement baseline)
   in
-  let baseline_profile = profile_measurement baseline in
   (* Step 2: decisions prune the tuning space. *)
   let decisions = Hints.decide ~iterative baseline baseline_profile in
   let knobs = Hierarchical.knobs_of_decisions decisions in
@@ -102,6 +111,7 @@ let optimize_kernel ?(device = Device.p100) ?(iterative = false)
       (Lower.lower device kernel { opts with Options.block = None; unroll = None })
   in
   let candidates =
+    Trace.with_span "optimize.tune" @@ fun () ->
     tune_with opts
     :: (if decisions.prefer_global then
           [ tune_with { opts with Options.use_shared = false } ]
@@ -125,6 +135,7 @@ let optimize_kernel ?(device = Device.p100) ?(iterative = false)
   in
   let tuned = if record.best.tflops >= baseline.tflops then record.best else baseline in
   (* Step 4: profile the winner, emit hints and fission candidates. *)
+  Trace.with_span "optimize.finalize" @@ fun () ->
   let tuned_profile = profile_measurement tuned in
   let hints = Hints.hints ~iterative tuned tuned_profile in
   let final_decisions = Hints.decide ~iterative tuned tuned_profile in
@@ -152,6 +163,7 @@ type deep_result = {
 
 let deep_tune ?(device = Device.p100) ?(opts = Options.default) ?max_tile
     (prog : Ast.program) =
+  Trace.with_span "deep.tune" @@ fun () ->
   let sched = Instantiate.schedule prog in
   match List.find_map Fusion.pingpong_of_item sched with
   | None -> invalid_arg "deep_tune: program has no ping-pong time loop"
@@ -166,19 +178,23 @@ let deep_tune ?(device = Device.p100) ?(opts = Options.default) ?max_tile
 (** CUDA source of the tuned plan. *)
 let cuda_of (r : result) = Cuda.emit r.tuned.plan
 
+let report_record (r : result) =
+  {
+    Report.kernel = r.kernel;
+    baseline = r.baseline;
+    baseline_profile = r.baseline_profile;
+    tuned = r.tuned;
+    tuned_profile = r.tuned_profile;
+    hints = r.hints;
+    explored = r.explored;
+    history = r.history;
+  }
+
 (** Human-readable optimization report for a result. *)
-let report_of (r : result) =
-  Report.render
-    {
-      Report.kernel = r.kernel;
-      baseline = r.baseline;
-      baseline_profile = r.baseline_profile;
-      tuned = r.tuned;
-      tuned_profile = r.tuned_profile;
-      hints = r.hints;
-      explored = r.explored;
-      history = r.history;
-    }
+let report_of (r : result) = Report.render (report_record r)
+
+(** The same report as stable JSON (the [--report-json] payload). *)
+let report_json_of (r : result) = Report.render_json (report_record r)
 
 (** First kernel launched by a program (time loops flattened). *)
 let first_kernel (prog : Ast.program) =

@@ -35,6 +35,13 @@ module Fusion = Artemis_fuse.Fusion
 module Fission = Artemis_fuse.Fission
 module Suite = Artemis_bench.Suite
 
+(** Observability: span tracing, metrics, JSON (see docs/OBSERVABILITY.md). *)
+module Obs = Artemis_obs
+
+module Trace = Artemis_obs.Trace
+module Metrics = Artemis_obs.Metrics
+module Json = Artemis_obs.Json
+
 val version : string
 
 (** Parse and semantically check DSL source text.
@@ -85,6 +92,10 @@ val cuda_of : result -> string
 (** Human-readable optimization report (stencil characteristics, baseline
     vs tuned measurements, bottlenecks, tuning trace, hints). *)
 val report_of : result -> string
+
+(** The same report serialized as stable JSON — measurements, profiles,
+    hints, and the full tuning history ([Report.to_json] schema). *)
+val report_json_of : result -> string
 
 (** First kernel launched by a program (time loops flattened).
     @raise Invalid_argument when the program launches nothing *)

@@ -9,6 +9,9 @@ module Validate = Artemis_ir.Validate
 module Estimate = Artemis_ir.Estimate
 module Counters = Artemis_gpu.Counters
 module Timing = Artemis_gpu.Timing
+module Metrics = Artemis_obs.Metrics
+
+let m_measures = Metrics.counter "exec.analytic_measures"
 
 type measurement = {
   plan : Plan.t;
@@ -23,6 +26,7 @@ type measurement = {
     @raise Invalid_argument when the plan violates device limits. *)
 let measure (plan : Plan.t) =
   Validate.check plan;
+  Metrics.incr m_measures;
   let ctx = Traffic.make_ctx plan in
   let counters = Traffic.total_counters ctx in
   let res = ctx.res in

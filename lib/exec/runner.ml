@@ -7,6 +7,10 @@ module A = Artemis_dsl.Ast
 module I = Artemis_dsl.Instantiate
 module Plan = Artemis_ir.Plan
 module Counters = Artemis_gpu.Counters
+module Trace = Artemis_obs.Trace
+module Metrics = Artemis_obs.Metrics
+
+let m_launches = Metrics.counter "exec.launches"
 
 (** A schedule whose kernels carry concrete plans. *)
 type step =
@@ -33,6 +37,7 @@ let rec configure ~plan_of (items : I.sched_item list) : step list =
 
 (** Analytic execution: sum per-launch counters and times. *)
 let measure_schedule (steps : step list) =
+  Trace.with_span "exec.measure_schedule" @@ fun () ->
   let counters = ref Counters.zero in
   let time = ref 0.0 in
   let launches = ref 0 in
@@ -43,7 +48,8 @@ let measure_schedule (steps : step list) =
           let m = Analytic.measure p in
           counters := Counters.add !counters m.counters;
           time := !time +. m.time_s;
-          incr launches
+          incr launches;
+          Metrics.incr m_launches
         | Swap _ -> ()
         | Loop (n, sub) ->
           for _ = 1 to n do
@@ -63,6 +69,7 @@ let measure_schedule (steps : step list) =
 (** Data execution over a store (swaps rebind grids, as the host code's
     pointer exchange does). *)
 let run_schedule (steps : step list) (store : Reference.store) ~scalars =
+  Trace.with_span "exec.run_schedule" @@ fun () ->
   let counters = ref Counters.zero in
   let launches = ref 0 in
   let rec go steps =
@@ -70,7 +77,8 @@ let run_schedule (steps : step list) (store : Reference.store) ~scalars =
       (function
         | Run_plan p ->
           counters := Counters.add !counters (Kernel_exec.run p store ~scalars);
-          incr launches
+          incr launches;
+          Metrics.incr m_launches
         | Swap (a, b) ->
           let ga = Reference.find_array store a and gb = Reference.find_array store b in
           Hashtbl.replace store a gb;

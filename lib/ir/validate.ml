@@ -24,6 +24,26 @@ let violation_to_string = function
   | Bad_unroll (d, u) -> Printf.sprintf "unroll factor %d along dim %d invalid" u d
   | Empty_tile d -> Printf.sprintf "empty output tile along dim %d" d
 
+(** Short constant tag per violation kind — safe as a metric label
+    (bounded cardinality, no embedded numbers). *)
+let violation_tag = function
+  | Too_many_threads _ -> "too-many-threads"
+  | Bad_block_dim _ -> "bad-block-dim"
+  | Shared_overflow _ -> "shared-overflow"
+  | Regs_overflow _ -> "regs-overflow"
+  | Zero_occupancy _ -> "zero-occupancy"
+  | Bad_stream_dim _ -> "bad-stream-dim"
+  | Bad_unroll _ -> "bad-unroll"
+  | Empty_tile _ -> "empty-tile"
+
+(* Validation volume: how many plans the tuner's filters push through
+   this gate, split by outcome. *)
+let m_validated_ok =
+  Artemis_obs.Metrics.counter "lower.plans_validated" ~labels:[ ("ok", "true") ]
+
+let m_validated_bad =
+  Artemis_obs.Metrics.counter "lower.plans_validated" ~labels:[ ("ok", "false") ]
+
 (** All limit violations of [plan]; an empty list means launchable. *)
 let violations (p : Plan.t) =
   let d = p.device in
@@ -60,7 +80,9 @@ let violations (p : Plan.t) =
         (Zero_occupancy
            (Artemis_gpu.Occupancy.limiter_to_string res.occupancy.limiter))
   end;
-  List.rev !errs
+  let vs = List.rev !errs in
+  Artemis_obs.Metrics.incr (if vs = [] then m_validated_ok else m_validated_bad);
+  vs
 
 let is_valid p = violations p = []
 

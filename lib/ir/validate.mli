@@ -15,6 +15,9 @@ type violation =
 
 val violation_to_string : violation -> string
 
+(** Short constant tag per violation kind, usable as a metric label. *)
+val violation_tag : violation -> string
+
 (** All limit violations; empty means launchable. *)
 val violations : Plan.t -> violation list
 

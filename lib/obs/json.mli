@@ -1,0 +1,35 @@
+(** Minimal JSON values: the wire format of every observability artifact —
+    Chrome traces, metric snapshots, optimization reports.  Printer and
+    parser round-trip, so tests can validate emitted documents without an
+    external JSON dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Serialize. [indent] pretty-prints with two-space indentation
+    (default [false]: compact single line). Non-finite floats serialize
+    as [null], as JSON requires. *)
+val to_string : ?indent:bool -> t -> string
+
+exception Parse_error of string
+
+(** Parse a complete JSON document.
+    @raise Parse_error on malformed input or trailing garbage. *)
+val parse : string -> t
+
+(* Accessors used by tests and the trace-info CLI; total functions
+   returning options. *)
+
+val member : string -> t -> t option
+val to_list_opt : t -> t list option
+val to_float_opt : t -> float option
+val to_string_opt : t -> string option
+
+(** Keys of an object, in order; [] for non-objects. *)
+val keys : t -> string list

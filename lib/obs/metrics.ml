@@ -1,0 +1,142 @@
+(* Metrics registry.  Handles are mutable records registered in a global
+   table keyed by (name, sorted labels); hot paths register once and pay
+   one float store per update.  [reset] zeroes values but keeps the
+   registrations, so module-level handles never dangle. *)
+
+type counter = { mutable c_value : float }
+type gauge = { mutable g_value : float }
+
+type histogram = {
+  bounds : float array;  (** upper bounds, ascending; +Inf implicit *)
+  counts : int array;  (** length = Array.length bounds + 1 *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type entry =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type key = { name : string; labels : (string * string) list }
+
+let registry : (key, entry) Hashtbl.t = Hashtbl.create 64
+
+let key name labels =
+  { name; labels = List.sort compare labels }
+
+let register k make =
+  match Hashtbl.find_opt registry k with
+  | Some e -> e
+  | None ->
+    let e = make () in
+    Hashtbl.replace registry k e;
+    e
+
+let counter ?(labels = []) name =
+  match register (key name labels) (fun () -> Counter { c_value = 0.0 }) with
+  | Counter c -> c
+  | Gauge _ | Histogram _ ->
+    invalid_arg (Printf.sprintf "Metrics.counter: %s already registered as another type" name)
+
+let incr ?(by = 1.0) (c : counter) = c.c_value <- c.c_value +. by
+let counter_value (c : counter) = c.c_value
+
+let gauge ?(labels = []) name =
+  match register (key name labels) (fun () -> Gauge { g_value = 0.0 }) with
+  | Gauge g -> g
+  | Counter _ | Histogram _ ->
+    invalid_arg (Printf.sprintf "Metrics.gauge: %s already registered as another type" name)
+
+let set (g : gauge) v = g.g_value <- v
+let gauge_value (g : gauge) = g.g_value
+
+let default_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0; 100.0; 1000.0 |]
+
+let histogram ?(buckets = default_buckets) ?(labels = []) name =
+  let make () =
+    let bounds = Array.copy buckets in
+    Array.sort compare bounds;
+    Histogram
+      { bounds; counts = Array.make (Array.length bounds + 1) 0; h_sum = 0.0; h_count = 0 }
+  in
+  match register (key name labels) make with
+  | Histogram h -> h
+  | Counter _ | Gauge _ ->
+    invalid_arg (Printf.sprintf "Metrics.histogram: %s already registered as another type" name)
+
+let observe (h : histogram) v =
+  (* First bucket whose upper bound admits [v]; the trailing slot is +Inf. *)
+  let n = Array.length h.bounds in
+  let rec find i = if i >= n || v <= h.bounds.(i) then i else find (i + 1) in
+  let i = find 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_count <- h.h_count + 1
+
+let histogram_buckets (h : histogram) =
+  let n = Array.length h.bounds in
+  List.init (n + 1) (fun i ->
+      ((if i < n then h.bounds.(i) else infinity), h.counts.(i)))
+
+let histogram_count (h : histogram) = h.h_count
+let histogram_sum (h : histogram) = h.h_sum
+
+let reset () =
+  Hashtbl.iter
+    (fun _ entry ->
+      match entry with
+      | Counter c -> c.c_value <- 0.0
+      | Gauge g -> g.g_value <- 0.0
+      | Histogram h ->
+        Array.fill h.counts 0 (Array.length h.counts) 0;
+        h.h_sum <- 0.0;
+        h.h_count <- 0)
+    registry
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let snapshot () =
+  let entries = Hashtbl.fold (fun k e acc -> (k, e) :: acc) registry [] in
+  let entries = List.sort (fun (a, _) (b, _) -> compare a b) entries in
+  let counters, gauges, histograms =
+    List.fold_left
+      (fun (cs, gs, hs) (k, e) ->
+        let base = [ ("name", Json.Str k.name); ("labels", labels_json k.labels) ] in
+        match e with
+        | Counter c ->
+          (Json.Obj (base @ [ ("value", Json.Float c.c_value) ]) :: cs, gs, hs)
+        | Gauge g ->
+          (cs, Json.Obj (base @ [ ("value", Json.Float g.g_value) ]) :: gs, hs)
+        | Histogram h ->
+          let buckets =
+            List.map
+              (fun (le, count) ->
+                Json.Obj
+                  [ ("le", if le = infinity then Json.Str "+Inf" else Json.Float le);
+                    ("count", Json.Int count) ])
+              (histogram_buckets h)
+          in
+          ( cs, gs,
+            Json.Obj
+              (base
+              @ [ ("buckets", Json.List buckets); ("sum", Json.Float h.h_sum);
+                  ("count", Json.Int h.h_count) ])
+            :: hs ))
+      ([], [], []) entries
+  in
+  Json.Obj
+    [ ("counters", Json.List (List.rev counters));
+      ("gauges", Json.List (List.rev gauges));
+      ("histograms", Json.List (List.rev histograms)) ]
+
+let write_snapshot path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Json.to_string ~indent:true (snapshot ())))

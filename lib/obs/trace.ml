@@ -1,0 +1,117 @@
+(* Span tracing.  A single global sink (the pipeline is single-threaded):
+   an enabled flag, a growing event buffer, and a span stack.  All entry
+   points bail on one boolean when disabled so instrumentation is free in
+   the common case. *)
+
+type value =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+type event = {
+  name : string;
+  phase : [ `Span | `Instant ];
+  ts_us : float;
+  dur_us : float;
+  depth : int;
+  attrs : (string * value) list;
+}
+
+let enabled_flag = ref false
+let buffer : event list ref = ref []
+let count = ref 0
+let span_depth = ref 0
+let base_time = ref 0.0
+
+(* Monotonic clamp over gettimeofday: timestamps never go backwards even
+   if the wall clock is stepped mid-run. *)
+let last_time = ref 0.0
+
+let default_clock () =
+  let t = Unix.gettimeofday () in
+  let t = if t < !last_time then !last_time else t in
+  last_time := t;
+  t
+
+let clock = ref default_clock
+let set_clock f = clock := f
+
+let enabled () = !enabled_flag
+
+let start () =
+  buffer := [];
+  count := 0;
+  span_depth := 0;
+  base_time := !clock ();
+  enabled_flag := true
+
+let stop () = enabled_flag := false
+
+let now_us () = (!clock () -. !base_time) *. 1e6
+
+let record ev =
+  buffer := ev :: !buffer;
+  incr count
+
+let instant ?(attrs = []) name =
+  if !enabled_flag then
+    record { name; phase = `Instant; ts_us = now_us (); dur_us = 0.0;
+             depth = !span_depth; attrs }
+
+(* Span durations double as a latency histogram so phase costs show up in
+   metric snapshots without opening the trace. *)
+let span_seconds name =
+  Metrics.histogram "trace.span_seconds" ~labels:[ ("span", name) ]
+
+let with_span ?(attrs = []) name f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = now_us () in
+    let depth = !span_depth in
+    incr span_depth;
+    let finally () =
+      decr span_depth;
+      let t1 = now_us () in
+      record { name; phase = `Span; ts_us = t0; dur_us = t1 -. t0; depth; attrs };
+      Metrics.observe (span_seconds name) ((t1 -. t0) /. 1e6)
+    in
+    Fun.protect ~finally f
+  end
+
+let events () = List.rev !buffer
+let event_count () = !count
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export                                           *)
+(* ------------------------------------------------------------------ *)
+
+let value_to_json = function
+  | Bool b -> Json.Bool b
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Str s -> Json.Str s
+
+let event_to_json (e : event) =
+  let args = List.map (fun (k, v) -> (k, value_to_json v)) e.attrs in
+  let base =
+    [ ("name", Json.Str e.name);
+      ("ph", Json.Str (match e.phase with `Span -> "X" | `Instant -> "i"));
+      ("ts", Json.Float e.ts_us); ("pid", Json.Int 1); ("tid", Json.Int 1) ]
+  in
+  let dur = match e.phase with `Span -> [ ("dur", Json.Float e.dur_us) ] | `Instant -> [] in
+  let scope = match e.phase with `Instant -> [ ("s", Json.Str "t") ] | `Span -> [] in
+  Json.Obj (base @ dur @ scope @ [ ("args", Json.Obj args) ])
+
+let to_chrome_json () =
+  Json.Obj
+    [ ("traceEvents", Json.List (List.map event_to_json (events ())));
+      ("displayTimeUnit", Json.Str "ms") ]
+
+let to_chrome_string () = Json.to_string ~indent:true (to_chrome_json ())
+
+let write path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_chrome_string ()))

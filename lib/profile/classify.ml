@@ -9,6 +9,8 @@
 
 module Device = Artemis_gpu.Device
 module Counters = Artemis_gpu.Counters
+module Trace = Artemis_obs.Trace
+module Metrics = Artemis_obs.Metrics
 
 type level =
   | Dram
@@ -33,6 +35,13 @@ let verdict_to_string = function
   | Compute_bound -> "compute-bound"
   | Latency_bound -> "latency-bound"
   | Ambiguous l -> "ambiguous near the " ^ level_to_string l ^ " roofline"
+
+(* Constant-cardinality tag for metric labels (no level lists). *)
+let verdict_tag = function
+  | Bandwidth_bound _ -> "bandwidth-bound"
+  | Compute_bound -> "compute-bound"
+  | Latency_bound -> "latency-bound"
+  | Ambiguous _ -> "ambiguous"
 
 type profile = {
   oi_dram : float;
@@ -97,6 +106,19 @@ let classify (device : Device.t) (c : Counters.t) ~(time_s : float) =
       | [], Some (l, _, _) -> Ambiguous l
       | [], None -> if achieved >= 0.5 then Compute_bound else Latency_bound
   in
+  Metrics.incr
+    (Metrics.counter "profile.classifications" ~labels:[ ("verdict", verdict_tag verdict) ]);
+  (* The roofline evidence behind the verdict: knee distance = OI as a
+     fraction of the machine-balance knee at each level ([< margin] means
+     bandwidth-bound there). *)
+  Trace.instant "profile.verdict"
+    ~attrs:
+      [ ("verdict", Str (verdict_to_string verdict));
+        ("oi_dram", Float oi_dram); ("oi_tex", Float oi_tex); ("oi_shm", Float oi_shm);
+        ("knee_dist_dram", Float (if knee_dram > 0.0 then oi_dram /. knee_dram else 0.0));
+        ("knee_dist_tex", Float (if knee_tex > 0.0 then oi_tex /. knee_tex else 0.0));
+        ("knee_dist_shm", Float (if knee_shm > 0.0 then oi_shm /. knee_shm else 0.0));
+        ("achieved_fraction", Float achieved) ];
   { oi_dram; oi_tex; oi_shm; knee_dram; knee_tex; knee_shm; verdict;
     achieved_fraction = achieved }
 

@@ -21,6 +21,9 @@ type verdict =
 
 val verdict_to_string : verdict -> string
 
+(** Short constant tag per verdict kind, usable as a metric label. *)
+val verdict_tag : verdict -> string
+
 type profile = {
   oi_dram : float;
   oi_tex : float;

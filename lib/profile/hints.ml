@@ -62,9 +62,25 @@ let decide ~iterative (m : Analytic.measurement) (prof : Classify.profile) =
       { d with enable_unroll = true; enable_register_opts = true }
     | Classify.Ambiguous _ -> d
   in
-  if spills || high_pressure then
-    { d with enable_unroll = false; explore_fission = true }
-  else d
+  let d =
+    if spills || high_pressure then
+      { d with enable_unroll = false; explore_fission = true }
+    else d
+  in
+  (* The pruning decision trail (Section IV-A): which knobs the profile
+     switched on or off, with the evidence that drove it. *)
+  Artemis_obs.Trace.instant "profile.decisions"
+    ~attrs:
+      [ ("plan", Str (Plan.label m.plan));
+        ("verdict", Str (Classify.verdict_to_string prof.verdict));
+        ("spills", Bool spills); ("high_pressure", Bool high_pressure);
+        ("enable_shared", Bool d.enable_shared);
+        ("enable_unroll", Bool d.enable_unroll);
+        ("enable_register_opts", Bool d.enable_register_opts);
+        ("explore_fusion", Bool d.explore_fusion);
+        ("explore_fission", Bool d.explore_fission);
+        ("prefer_global", Bool d.prefer_global) ];
+  d
 
 (** Human-readable hints mirroring the guideline bullets of Section IV-A. *)
 let hints ~iterative (m : Analytic.measurement) (prof : Classify.profile) =

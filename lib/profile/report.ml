@@ -96,3 +96,100 @@ let render (r : t) =
       r.hints
   end;
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSON serialization                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Artemis_obs.Json
+
+let json_counters (c : C.t) =
+  Json.Obj
+    [ ("useful_flops", Json.Float c.useful_flops);
+      ("total_flops", Json.Float c.total_flops);
+      ("dram_bytes", Json.Float c.dram_bytes);
+      ("tex_bytes", Json.Float c.tex_bytes);
+      ("shm_bytes", Json.Float c.shm_bytes);
+      ("gld_transactions", Json.Float c.gld_transactions);
+      ("gst_transactions", Json.Float c.gst_transactions);
+      ("shm_ld", Json.Float c.shm_ld); ("shm_st", Json.Float c.shm_st);
+      ("spill_bytes", Json.Float c.spill_bytes); ("syncs", Json.Float c.syncs);
+      ("instructions", Json.Float c.instructions) ]
+
+let json_profile (p : Classify.profile) =
+  Json.Obj
+    [ ("oi_dram", Json.Float p.oi_dram); ("oi_tex", Json.Float p.oi_tex);
+      ("oi_shm", Json.Float p.oi_shm); ("knee_dram", Json.Float p.knee_dram);
+      ("knee_tex", Json.Float p.knee_tex); ("knee_shm", Json.Float p.knee_shm);
+      ("verdict", Json.Str (Classify.verdict_to_string p.verdict));
+      ("verdict_tag", Json.Str (Classify.verdict_tag p.verdict));
+      ("achieved_fraction", Json.Float p.achieved_fraction) ]
+
+(** One measurement + its bottleneck profile as a stable JSON object. *)
+let json_measurement (m : Analytic.measurement) (prof : Classify.profile) =
+  Json.Obj
+    [ ("plan", Json.Str (Plan.label m.plan));
+      ("tflops", Json.Float m.tflops); ("time_s", Json.Float m.time_s);
+      ("counters", json_counters m.counters);
+      ("resources",
+       Json.Obj
+         [ ("regs_per_thread", Json.Int m.resources.regs_per_thread);
+           ("effective_regs", Json.Int m.resources.effective_regs);
+           ("spilled_doubles", Json.Int m.resources.spilled_doubles);
+           ("shared_per_block", Json.Int m.resources.shared_per_block);
+           ("occupancy", Json.Float m.resources.occupancy.occupancy);
+           ("blocks_per_sm", Json.Int m.resources.occupancy.blocks_per_sm);
+           ("limiter",
+            Json.Str
+              (Artemis_gpu.Occupancy.limiter_to_string m.resources.occupancy.limiter)) ]);
+      ("breakdown",
+       Json.Obj
+         [ ("t_compute", Json.Float m.breakdown.t_compute);
+           ("t_dram", Json.Float m.breakdown.t_dram);
+           ("t_tex", Json.Float m.breakdown.t_tex);
+           ("t_shm", Json.Float m.breakdown.t_shm);
+           ("t_sync", Json.Float m.breakdown.t_sync);
+           ("t_total", Json.Float m.breakdown.t_total) ]);
+      ("profile", json_profile prof) ]
+
+(** The full report as JSON: kernel facts, baseline and tuned
+    measurements with their profiles, hints, and the complete tuning
+    history.  Field names are part of the CLI contract ([--report-json])
+    and covered by a schema-stability test. *)
+let to_json (r : t) =
+  let k = r.kernel in
+  Json.Obj
+    [ ("schema_version", Json.Int 1);
+      ("kernel",
+       Json.Obj
+         [ ("name", Json.Str k.kname);
+           ("domain", Json.List (Array.to_list (Array.map (fun d -> Json.Int d) k.domain)));
+           ("statements", Json.Int (List.length k.body));
+           ("stencil_order", Json.Int (An.stencil_order k));
+           ("flops_per_point", Json.Int (An.flops_per_point k));
+           ("io_arrays", Json.Int (An.io_array_count k));
+           ("theoretical_oi", Json.Float (An.theoretical_oi k));
+           ("recompute_halo", Json.Int (An.recompute_halo k)) ]);
+      ("baseline", json_measurement r.baseline r.baseline_profile);
+      ("tuned", json_measurement r.tuned r.tuned_profile);
+      ("speedup",
+       Json.Float
+         (if r.baseline.tflops > 0.0 then r.tuned.tflops /. r.baseline.tflops else 0.0));
+      ("explored", Json.Int r.explored);
+      ("history",
+       Json.List
+         (List.map
+            (fun (label, tflops) ->
+              Json.Obj [ ("plan", Json.Str label); ("tflops", Json.Float tflops) ])
+            r.history));
+      ("hints",
+       Json.List
+         (List.map
+            (fun (h : Hints.hint) ->
+              Json.Obj
+                [ ("severity",
+                   Json.Str (match h.severity with `Info -> "info" | `Advice -> "advice"));
+                  ("text", Json.Str h.text) ])
+            r.hints)) ]
+
+let render_json (r : t) = Json.to_string ~indent:true (to_json r)

@@ -17,6 +17,10 @@ module Plan = Artemis_ir.Plan
 module Analytic = Artemis_exec.Analytic
 module Classify = Artemis_profile.Classify
 module Fusion = Artemis_fuse.Fusion
+module Trace = Artemis_obs.Trace
+module Metrics = Artemis_obs.Metrics
+
+let m_versions = Metrics.counter "deep.versions_explored"
 
 type version = {
   time_tile : int;
@@ -46,28 +50,48 @@ let explore ?(max_tile = 5) ~plan_of (k : I.kernel) ~out ~inp =
   let rec go x acc =
     if x > max_tile then List.rev acc
     else begin
-      let fused = Fusion.time_fuse k ~out ~inp ~f:x in
-      let base : Plan.t = plan_of fused in
-      let base = { base with Plan.time_tile = x } in
-      match Hierarchical.tune base with
+      let step =
+        Trace.with_span "deep.version" ~attrs:[ ("time_tile", Int x) ] (fun () ->
+            let fused = Fusion.time_fuse k ~out ~inp ~f:x in
+            let base : Plan.t = plan_of fused in
+            let base = { base with Plan.time_tile = x } in
+            match Hierarchical.tune base with
+            | None ->
+              Trace.instant "deep.decision"
+                ~attrs:[ ("time_tile", Int x); ("decision", Str "stop");
+                         ("reason", Str "no-valid-configuration") ];
+              None
+            | Some record ->
+              Metrics.incr m_versions;
+              let prof = profile_of record.best in
+              let continue_ = still_bandwidth_bound prof in
+              (* The Section VI-A stopping rule is itself a profiling
+                 decision — record it with its evidence. *)
+              Trace.instant "deep.decision"
+                ~attrs:
+                  [ ("time_tile", Int x);
+                    ("tflops", Float record.best.tflops);
+                    ("verdict", Str (Classify.verdict_to_string prof.verdict));
+                    ("decision", Str (if continue_ then "continue" else "stop"));
+                    ("reason",
+                     Str (if continue_ then "still-bandwidth-bound"
+                          else "no-longer-bandwidth-bound")) ];
+              Some
+                ( {
+                    time_tile = x;
+                    record;
+                    profile = prof;
+                    time_per_sweep = record.best.time_s /. float_of_int x;
+                  },
+                  continue_ ))
+      in
+      match step with
       | None -> List.rev acc
-      | Some record ->
-        let prof = profile_of record.best in
-        let v =
-          {
-            time_tile = x;
-            record;
-            profile = prof;
-            time_per_sweep = record.best.time_s /. float_of_int x;
-          }
-        in
-        (* Stop once the fused version is no longer bandwidth-bound: deeper
-           fusion cannot pay (Section VI-A). *)
-        if still_bandwidth_bound prof then go (x + 1) (v :: acc)
-        else List.rev (v :: acc)
+      | Some (v, true) -> go (x + 1) (v :: acc)
+      | Some (v, false) -> List.rev (v :: acc)
     end
   in
-  let versions = go 1 [] in
+  let versions = Trace.with_span "deep.explore" (fun () -> go 1 []) in
   let cusp =
     match
       List.sort (fun a b -> compare a.time_per_sweep b.time_per_sweep) versions
@@ -91,6 +115,7 @@ let explore ?(max_tile = 5) ~plan_of (k : I.kernel) ~out ~inp =
     to [t]) and the predicted total time. *)
 let optimal_schedule (r : result) ~t =
   if t < 0 then invalid_arg "optimal_schedule: negative iteration count";
+  Trace.with_span "deep.schedule" ~attrs:[ ("iterations", Int t) ] @@ fun () ->
   let times =
     List.map (fun v -> (v.time_tile, v.record.best.time_s)) r.versions
   in

@@ -12,7 +12,10 @@
 module Plan = Artemis_ir.Plan
 module Validate = Artemis_ir.Validate
 module Analytic = Artemis_exec.Analytic
+module Classify = Artemis_profile.Classify
 module Hints = Artemis_profile.Hints
+module Trace = Artemis_obs.Trace
+module Metrics = Artemis_obs.Metrics
 
 type record = {
   best : Analytic.measurement;
@@ -29,13 +32,22 @@ let better (a : Analytic.measurement option) (b : Analytic.measurement) =
 (* Measure with the non-spill register-stepping rule; falls back to 255
    with spills so register-doomed kernels (maxfuse rhs4sgcurv) are still
    measurable. *)
-let measure_stepped (p : Plan.t) =
-  let p =
-    match Space.min_nonspill_regs p with
-    | Some r -> { p with max_regs = r }
-    | None -> { p with max_regs = 255 }
-  in
-  Analytic.try_measure p
+let stepped (p : Plan.t) =
+  match Space.min_nonspill_regs p with
+  | Some r -> { p with max_regs = r }
+  | None -> { p with max_regs = 255 }
+
+let measure_stepped (p : Plan.t) = Analytic.try_measure (stepped p)
+
+let m_configs_measured = Metrics.counter "tuner.configs_measured"
+let m_tuner_runs = Metrics.counter "tuner.runs"
+
+(* Why a configuration could not be measured: the first device-limit
+   violation of the stepped plan, or a measurement failure. *)
+let prune_reason (p : Plan.t) =
+  match Validate.violations (stepped p) with
+  | v :: _ -> Validate.violation_tag v
+  | [] -> "measurement-failed"
 
 type knobs = {
   try_unroll : bool;
@@ -81,15 +93,43 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
   let rank = Plan.rank base in
   let explored = ref 0 in
   let history = ref [] in
-  let consider acc plan =
+  (* One structured event per considered configuration: the decision
+     trail of the tuner (kept / dropped / pruned, with the measured
+     TFLOPS and bottleneck verdict).  The classification is only
+     computed when a trace sink is attached. *)
+  let consider ~phase acc plan =
     match measure_stepped plan with
     | Some m ->
       incr explored;
+      Metrics.incr m_configs_measured;
+      if Trace.enabled () then begin
+        let kept =
+          match acc with
+          | None -> true
+          | Some (a : Analytic.measurement) -> m.tflops > a.tflops
+        in
+        let prof = Classify.classify m.plan.device m.counters ~time_s:m.time_s in
+        Trace.instant "tuner.config"
+          ~attrs:
+            [ ("phase", Str phase); ("plan", Str (Plan.label m.plan));
+              ("tflops", Float m.tflops);
+              ("verdict", Str (Classify.verdict_to_string prof.verdict));
+              ("decision", Str (if kept then "keep" else "drop")) ]
+      end;
       if List.length !history < 64 then
         history := (Plan.label m.plan, m.tflops) :: !history;
       better acc m
-    | None -> acc
+    | None ->
+      let reason = prune_reason plan in
+      Metrics.incr (Metrics.counter "tuner.configs_pruned" ~labels:[ ("reason", reason) ]);
+      if Trace.enabled () then
+        Trace.instant "tuner.config"
+          ~attrs:
+            [ ("phase", Str phase); ("plan", Str (Plan.label plan));
+              ("decision", Str "pruned"); ("reason", Str reason) ];
+      acc
   in
+  Metrics.incr m_tuner_runs;
   (* ---- phase 1: block shapes x unroll vectors ---- *)
   let blocks =
     Space.block_candidates ~rank ~scheme:base.scheme
@@ -101,17 +141,28 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
     else [ Array.make rank 1 ]
   in
   let phase1 =
-    List.fold_left
-      (fun acc block ->
+    Trace.with_span "tune.phase1"
+      ~attrs:
+        [ ("kernel", Str base.kernel.kname);
+          ("blocks", Int (List.length blocks)); ("unrolls", Int (List.length unrolls)) ]
+      (fun () ->
         List.fold_left
-          (fun acc unroll -> consider acc { base with block; unroll })
-          acc unrolls)
-      None blocks
+          (fun acc block ->
+            List.fold_left
+              (fun acc unroll -> consider ~phase:"phase1" acc { base with block; unroll })
+              acc unrolls)
+          None blocks)
   in
   match phase1 with
   | None -> None
   | Some p1_best ->
     (* ---- phase 2: refinements on the top candidates ---- *)
+    Trace.with_span "tune.phase2"
+      ~attrs:
+        [ ("kernel", Str base.kernel.kname);
+          ("phase1_best", Str (Plan.label p1_best.plan));
+          ("phase1_tflops", Float p1_best.tflops) ]
+    @@ fun () ->
     let top =
       let measured =
         List.filter_map
@@ -185,7 +236,7 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
         in
         with_fold
       in
-      List.fold_left consider acc variants
+      List.fold_left (consider ~phase:"phase2") acc variants
     in
     let final = List.fold_left refine (Some p1_best) top in
     Option.map

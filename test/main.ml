@@ -15,6 +15,7 @@ let () =
       Test_codegen.tests;
       Test_profile.tests;
       Test_tune.tests;
+      Test_obs.tests;
       Test_fuse.tests;
       Test_suite_bench.tests;
       Test_driver.tests;
