@@ -3,7 +3,7 @@
 TRACE   := /tmp/artemis-trace.json
 REPORT  := /tmp/artemis-report.json
 
-.PHONY: all build test check bench trace-smoke clean
+.PHONY: all build test check bench trace-smoke fuzz-smoke clean
 
 all: build
 
@@ -13,10 +13,12 @@ build:
 test:
 	dune runtest
 
-# What CI runs: everything must compile and the full suite must pass.
+# What CI runs: everything must compile, the full suite must pass, and
+# the differential fuzzer must replay its smoke seeds with no findings.
 check:
 	dune build @all
 	dune runtest
+	$(MAKE) fuzz-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -29,6 +31,12 @@ trace-smoke:
 	dune exec bin/artemisc.exe -- trace-info $(TRACE)
 	@grep -q '"schema_version"' $(REPORT) && echo "report OK: $(REPORT)"
 	@rm -f examples/jacobi.stc.report.txt examples/jacobi.stc.*-fission.stc
+
+# Differential verification smoke test (docs/VERIFY.md): seed 42 is the
+# acceptance seed, seed 7 once crashed the pipeline and stays pinned.
+fuzz-smoke:
+	dune exec bin/artemisc.exe -- fuzz --seed 42 --cases 25
+	dune exec bin/artemisc.exe -- fuzz --seed 7 --cases 25
 
 clean:
 	dune clean

@@ -435,6 +435,10 @@ let tuningcost () =
   | Some h ->
     let ot = Artemis_tune.Opentuner_sim.tune ~budget:4000 base in
     Printf.printf "full cross-product space       : %d configurations\n" ot.space_size;
+    Printf.printf "generic search attempted       : %d configurations (budget cap)\n"
+      ot.attempted;
+    Printf.printf "generic search measured        : %d valid configurations\n"
+      ot.measured;
     Printf.printf "hierarchical tuning measured   : %d configurations\n" h.explored;
     Printf.printf "pruning factor                 : %.1fx\n"
       (float_of_int ot.space_size /. float_of_int (max h.explored 1));

@@ -7,6 +7,7 @@
      artemisc deep     prog.stc     # deep tuning of an iterative program
      artemisc check    prog.stc     # parse + semantic check only
      artemisc bench <name>          # run one suite benchmark end to end
+     artemisc fuzz --seed N         # differential fuzzing of the pipeline
      artemisc trace-info t.json     # summarize a recorded trace
 
    Every subcommand accepts --trace FILE (or ARTEMIS_TRACE=FILE) to
@@ -90,7 +91,13 @@ let with_trace trace f =
      | exception Sys_error msg -> (
        match result with
        | `Ok () -> `Error (false, msg)
-       | other -> other))
+       | other ->
+         (* The command already failed; keep its error as the outcome but
+            don't lose the trace failure — aborted runs that also lost
+            their trace must stay diagnosable. *)
+         Printf.eprintf "artemisc: warning: could not write trace %s: %s\n%!"
+           path msg;
+         other))
 
 (* ---------------- check ---------------- *)
 
@@ -278,6 +285,42 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the Table-I benchmarks")
     Term.(ret (const run $ trace_arg $ const ()))
 
+(* ---------------- fuzz ---------------- *)
+
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+           ~doc:"PRNG seed; the run is a pure function of it")
+  in
+  let cases_arg =
+    Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N"
+           ~doc:"Number of random programs to generate")
+  in
+  let dump_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dump-dir" ] ~docv:"DIR"
+             ~doc:"Write each shrunk finding there as a replayable .stc + \
+                   .repro.txt description")
+  in
+  let run trace seed cases dump_dir =
+    with_trace trace @@ fun () ->
+    let s = Artemis_verify.Harness.run ?dump_dir ~seed ~cases () in
+    print_string (Artemis_verify.Harness.summary_to_string s);
+    match s.findings with
+    | [] -> `Ok ()
+    | fs ->
+      (match dump_dir with
+       | Some dir -> Printf.printf "repros dumped under %s\n" dir
+       | None -> ());
+      `Error (false, Printf.sprintf "%d differential finding(s)" (List.length fs))
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: random programs x sampled plans, checked \
+             bit-exactly against the reference executor and the analytic \
+             counter model")
+    Term.(ret (const run $ trace_arg $ seed_arg $ cases_arg $ dump_arg))
+
 (* ---------------- trace-info ---------------- *)
 
 let trace_info_cmd =
@@ -340,4 +383,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ check_cmd; compile_cmd; optimize_cmd; deep_cmd; bench_cmd; list_cmd;
-            trace_info_cmd ]))
+            fuzz_cmd; trace_info_cmd ]))

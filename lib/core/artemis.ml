@@ -41,6 +41,7 @@ module Deep = Artemis_tune.Deep
 module Fusion = Artemis_fuse.Fusion
 module Fission = Artemis_fuse.Fission
 module Suite = Artemis_bench.Suite
+module Verify = Artemis_verify
 module Obs = Artemis_obs
 module Trace = Artemis_obs.Trace
 module Metrics = Artemis_obs.Metrics

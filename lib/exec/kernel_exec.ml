@@ -159,13 +159,8 @@ let run (plan : Plan.t) (store : Reference.store) ~scalars =
                        (fun d -> fst tile.(d) <= point.(d) && point.(d) <= snd tile.(d))
                        (Array.init rank Fun.id)
                 in
-                if in_tile && Grid.in_bounds target w && Eval.guard env point e then begin
-                  let v = Eval.eval env point e in
-                  Grid.set target w v;
-                  (* Global intermediates also feed later statements via the
-                     same storage, which the env lookup already resolves. *)
-                  if List.mem a inter && not (inter_in_global a) then ()
-                end
+                if in_tile && Grid.in_bounds target w && Eval.guard env point e then
+                  Grid.set target w (Eval.eval env point e)
               | A.Accum (a, idx, e) ->
                 let target =
                   if List.mem a finals || inter_in_global a then global_array a

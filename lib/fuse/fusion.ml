@@ -14,6 +14,7 @@
 
 module A = Artemis_dsl.Ast
 module I = Artemis_dsl.Instantiate
+module Trace = Artemis_obs.Trace
 
 exception Fusion_error of string
 
@@ -83,12 +84,32 @@ let time_fuse (k : I.kernel) ~out ~inp ~f =
   end
 
 (** Detect the ping-pong pattern in a schedule item: [Repeat (T, [Launch k;
-    Exchange (out, inp)])] with [k] writing [out] and reading [inp]. *)
+    Exchange (out, inp)])] with [k] writing [out] and reading [inp].  A body
+    writing {e both} exchanged buffers is not a ping-pong — neither buffer is
+    a pure sweep input, so time-fusing it would change semantics — and is
+    rejected rather than guessed at. *)
 let pingpong_of_item = function
   | I.Repeat (t, [ I.Launch k; I.Exchange (a, b) ]) ->
     let written = List.filter_map A.written_array k.body in
-    if List.mem a written then Some (t, k, a, b)
-    else if List.mem b written then Some (t, k, b, a)
+    let read = I.read_arrays_of_body k.body in
+    let reject reason =
+      Trace.instant "fusion.pingpong_rejected"
+        ~attrs:
+          [ ("kernel", Str k.kname); ("reason", Str reason);
+            ("buffers", Str (a ^ "," ^ b)) ];
+      None
+    in
+    let writes_a = List.mem a written and writes_b = List.mem b written in
+    if writes_a && writes_b then reject "body-writes-both-exchange-buffers"
+    else if writes_a then
+      (* The sweep must consume the previous iteration through the other
+         buffer; otherwise the time loop isn't a ping-pong and time_fuse
+         has no input to chain. *)
+      if List.mem b read then Some (t, k, a, b)
+      else reject "exchange-input-never-read"
+    else if writes_b then
+      if List.mem a read then Some (t, k, b, a)
+      else reject "exchange-input-never-read"
     else None
   | I.Repeat _ | I.Launch _ | I.Exchange _ -> None
 

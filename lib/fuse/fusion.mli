@@ -18,7 +18,10 @@ val time_fuse :
   Artemis_dsl.Instantiate.kernel
 
 (** Recognize [Repeat (T, [Launch k; Exchange (out, inp)])]; returns
-    [(T, k, out, inp)]. *)
+    [(T, k, out, inp)].  [None] when the body writes both exchanged
+    buffers (ambiguous output) or never reads the exchanged input
+    (nothing to chain) — either way not a ping-pong; rejections are
+    traced as [fusion.pingpong_rejected] with a reason. *)
 val pingpong_of_item :
   Artemis_dsl.Instantiate.sched_item ->
   (int * Artemis_dsl.Instantiate.kernel * string * string) option

@@ -100,10 +100,14 @@ let explore ?(max_tile = 5) ~plan_of (k : I.kernel) ~out ~inp =
     | [] -> 1
   in
   let tipping_point =
+    (* First explored x whose per-sweep time regresses vs its
+       predecessor.  When no explored version regresses, the documented
+       "(or k)" fallback is the largest tile actually measured — never a
+       tile outside the explored range. *)
     let rec find = function
       | a :: b :: rest ->
         if b.time_per_sweep > a.time_per_sweep then b.time_tile else find (b :: rest)
-      | [ last ] -> last.time_tile + 1
+      | [ last ] -> last.time_tile
       | [] -> 1
     in
     find versions

@@ -10,7 +10,8 @@ module Analytic = Artemis_exec.Analytic
 
 type record = {
   best : Analytic.measurement option;
-  explored : int;
+  attempted : int;  (** configurations tried, i.e. what the budget caps *)
+  measured : int;  (** configurations that were valid and measured *)
   space_size : int;  (** full cross-product size before validity filtering *)
 }
 
@@ -58,17 +59,17 @@ let tune ?budget (base : Plan.t) =
     | Some b -> List.filteri (fun i _ -> i < b) plans
     | None -> plans
   in
-  let explored = ref 0 in
+  let measured = ref 0 in
   let best =
     List.fold_left
       (fun acc plan ->
         match Analytic.try_measure plan with
         | Some m ->
-          incr explored;
+          incr measured;
           (match acc with
            | Some (a : Analytic.measurement) when a.tflops >= m.tflops -> acc
            | Some _ | None -> Some m)
         | None -> acc)
       None plans
   in
-  { best; explored = !explored; space_size }
+  { best; attempted = List.length plans; measured = !measured; space_size }

@@ -6,7 +6,10 @@
 
 type record = {
   best : Artemis_exec.Analytic.measurement option;
-  explored : int;  (** valid configurations actually measured *)
+  attempted : int;
+      (** configurations tried — what a wall-clock [budget] caps; invalid
+          configurations still consume attempts, as they do for OpenTuner *)
+  measured : int;  (** valid configurations actually measured *)
   space_size : int;  (** full cross-product size before validity filtering *)
 }
 

@@ -1,0 +1,138 @@
+(* Differential oracle: reference vs block executor vs analytic model. *)
+
+module A = Artemis_dsl.Ast
+module I = Artemis_dsl.Instantiate
+module Plan = Artemis_ir.Plan
+module Counters = Artemis_gpu.Counters
+module E = Artemis_exec
+module Trace = Artemis_obs.Trace
+
+type mismatch =
+  | Output_mismatch of { array : string; diff : float; margin : int }
+  | Counter_mismatch of { plan : string; detail : string }
+  | Schedule_counter_mismatch of { detail : string }
+  | Crash of { detail : string }
+
+let mismatch_to_string = function
+  | Output_mismatch { array; diff; margin } ->
+    Printf.sprintf "output mismatch: %s differs by %g (margin %d)" array diff margin
+  | Counter_mismatch { plan; detail } ->
+    Printf.sprintf "counter mismatch (class sum vs exact loop) on %s: %s" plan detail
+  | Schedule_counter_mismatch { detail } ->
+    Printf.sprintf "counter mismatch (executed vs analytic): %s" detail
+  | Crash { detail } -> Printf.sprintf "crash: %s" detail
+
+type verdict =
+  | Checked of { plans : int; mismatches : mismatch list }
+  | Skipped of string
+
+let counters_brief (c : Counters.t) (c' : Counters.t) =
+  Printf.sprintf "dram %g vs %g, tex %g vs %g, flops %g vs %g" c.dram_bytes
+    c'.dram_bytes c.tex_bytes c'.tex_bytes c.useful_flops c'.useful_flops
+
+let margin_of prog = function
+  | Sampler.Fused segs ->
+    (* Fused intermediates are zero-initialized where a sweep's guard
+       fails while the ping-pong original keeps stale buffer contents;
+       the divergence can propagate [order] points per sweep. *)
+    let t = List.fold_left ( + ) 0 segs in
+    (t * max 1 (Gen.max_shift prog)) + 2
+  | Sampler.Plain | Sampler.Fissioned _ -> 0
+
+(* Distinct kernels of a schedule (by name — fused segment kernels of the
+   same degree are structurally identical). *)
+let kernels_of_schedule sched =
+  let rec collect acc = function
+    | [] -> acc
+    | I.Launch k :: rest -> collect (k :: acc) rest
+    | I.Exchange _ :: rest -> collect acc rest
+    | I.Repeat (_, sub) :: rest -> collect (collect acc sub) rest
+  in
+  List.fold_left
+    (fun acc (k : I.kernel) ->
+      if List.exists (fun (k' : I.kernel) -> k'.kname = k.kname) acc then acc
+      else acc @ [ k ])
+    []
+    (List.rev (collect [] sched))
+
+let crash e =
+  Checked { plans = 0; mismatches = [ Crash { detail = Printexc.to_string e } ] }
+
+let check (prog : A.program) (trial : Sampler.trial) =
+  Trace.with_span "verify.trial" ~attrs:[ ("trial", Str (Sampler.trial_label trial)) ]
+  @@ fun () ->
+  (* Any exception past this point is a finding: the program checked and
+     the plans validated, so the pipeline has no business raising. *)
+  match Sampler.schedule_of_variant prog trial.variant with
+  | exception e -> crash e
+  | None -> Skipped "variant-inapplicable"
+  | Some sched -> (
+    let kernels = kernels_of_schedule sched in
+    match List.map (fun k -> (k.I.kname, Sampler.plan_of trial.cfg k)) kernels with
+    | exception e -> crash e
+    | plans -> (
+    match List.filter (fun (_, p) -> p = None) plans with
+    | _ :: _ -> Skipped "no-launchable-plan"
+    | [] -> (
+      let plan_for (k : I.kernel) =
+        match List.assoc k.kname plans with Some p -> p | None -> assert false
+      in
+      let scalars = E.Reference.scalars_of_program prog in
+      (* The reference always runs the program's own schedule: fused and
+         fissioned trials are compared across the transformation. *)
+      let ref_store = E.Reference.store_of_program prog in
+      match E.Reference.run_schedule ref_store ~scalars (I.schedule prog) with
+      | exception e -> crash e
+      | () ->
+      let exec_store = E.Reference.store_of_program prog in
+      let steps = E.Runner.configure ~plan_of:plan_for sched in
+      match E.Runner.run_schedule steps exec_store ~scalars with
+      | exception E.Kernel_exec.Unsupported msg -> Skipped ("unsupported: " ^ msg)
+      | exception e -> crash e
+      | exec_counters, _launches ->
+        let mismatches = ref [] in
+        let push m =
+          Trace.instant "verify.mismatch"
+            ~attrs:[ ("detail", Str (mismatch_to_string m)) ];
+          mismatches := m :: !mismatches
+        in
+        (* Invariant 2a: executed counters == analytic counters. *)
+        (match E.Runner.measure_schedule steps with
+        | exception e -> push (Crash { detail = Printexc.to_string e })
+        | analytic ->
+          if not (Counters.approx_equal exec_counters analytic.counters) then
+            push
+              (Schedule_counter_mismatch
+                 { detail = counters_brief exec_counters analytic.counters }));
+        (* Invariant 2b: fast class summation == exact per-block loop. *)
+        List.iter
+          (fun (_, plan) ->
+            match plan with
+            | None -> ()
+            | Some p -> (
+              match E.Traffic.make_ctx p with
+              | exception e -> push (Crash { detail = Printexc.to_string e })
+              | ctx ->
+                let fast = E.Traffic.total_counters ctx in
+                let exact = E.Traffic.total_counters ~exact:true ctx in
+                if not (Counters.approx_equal fast exact) then
+                  push
+                    (Counter_mismatch
+                       { plan = Plan.label p; detail = counters_brief fast exact })))
+          plans;
+        (* Invariant 1: copied-out grids match the reference. *)
+        let margin = margin_of prog trial.variant in
+        List.iter
+          (fun a ->
+            match I.array_dims prog a with
+            | None -> ()
+            | Some _ ->
+              let g_ref = E.Reference.find_array ref_store a in
+              let g_exec = E.Reference.find_array exec_store a in
+              let diff =
+                if margin = 0 then E.Grid.max_abs_diff g_ref g_exec
+                else E.Grid.max_abs_diff_interior ~margin g_ref g_exec
+              in
+              if diff <> 0.0 then push (Output_mismatch { array = a; diff; margin }))
+          prog.copyout;
+        Checked { plans = List.length plans; mismatches = List.rev !mismatches })))

@@ -1,0 +1,36 @@
+(** The differential oracle: run one trial and cross-check the two
+    invariants the block executor promises.
+
+    {ol
+    {- {b Outputs}: every copied-out grid after executing the plan(s)
+       through [Kernel_exec.run] must equal the [Reference] interpreter's
+       result on the {e original} program schedule — bit-exactly for
+       plain and fissioned trials, and bit-exactly on the deep interior
+       (margin [T * order + 2]) for time-fused trials, whose boundary
+       semantics legitimately differ.}
+    {- {b Counters}: the executed schedule's summed launch counters must
+       agree with the analytic evaluator's ([Analytic.measure] summed by
+       [Runner.measure_schedule]), and each plan's fast block-class
+       counter summation must agree with the exact per-block loop
+       ([Traffic.total_counters ~exact:true]).}} *)
+
+type mismatch =
+  | Output_mismatch of { array : string; diff : float; margin : int }
+  | Counter_mismatch of { plan : string; detail : string }
+      (** fast class summation vs exact per-block loop *)
+  | Schedule_counter_mismatch of { detail : string }
+      (** executed counters vs analytic counters over the schedule *)
+  | Crash of { detail : string }
+      (** the pipeline raised on a checked program + valid plan *)
+
+val mismatch_to_string : mismatch -> string
+
+type verdict =
+  | Checked of { plans : int; mismatches : mismatch list }
+  | Skipped of string
+      (** variant inapplicable or no launchable plan — not a finding *)
+
+(** Interior margin used for output comparison under this variant. *)
+val margin_of : Artemis_dsl.Ast.program -> Sampler.variant -> int
+
+val check : Artemis_dsl.Ast.program -> Sampler.trial -> verdict

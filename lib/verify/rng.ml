@@ -1,0 +1,37 @@
+(* Splitmix64 (Steele, Lea, Flood 2014): tiny, fast, and with a fixed,
+   implementation-independent stream — the property the pinned seed
+   corpus in test/test_verify.ml relies on. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let make seed =
+  let t = { state = Int64.of_int seed } in
+  (* One warm-up step decorrelates small consecutive seeds. *)
+  ignore (next t);
+  t
+
+let make2 seed index =
+  let t = make seed in
+  let mixed = Int64.logxor (next t) (Int64.mul (Int64.of_int (index + 1)) golden) in
+  let t' = { state = mixed } in
+  ignore (next t');
+  t'
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  (* Non-negative residue of the top 63 bits; bias is negligible for the
+     tiny bounds the generator uses. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+let bool t = Int64.logand (next t) 1L = 1L
+let chance t p = float_of_int (int t 1_000_000) < p *. 1_000_000.0
+let pick t xs = List.nth xs (int t (List.length xs))

@@ -1,0 +1,27 @@
+(** Deterministic splittable PRNG (splitmix64) for the fuzzer.
+
+    Hand-rolled rather than [Random] so the seed corpus pinned in tests
+    stays stable across OCaml releases: the stream depends only on this
+    file. *)
+
+type t
+
+(** A generator seeded from one integer. *)
+val make : int -> t
+
+(** A generator derived from a (seed, index) pair — used to give every
+    fuzz case an independent stream, so adding trials to one case never
+    perturbs the next case. *)
+val make2 : int -> int -> t
+
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument when [bound <= 0] *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** [chance t p] is true with probability [p] ([p] in [0..1]). *)
+val chance : t -> float -> bool
+
+(** Uniform element of a non-empty list. *)
+val pick : t -> 'a list -> 'a

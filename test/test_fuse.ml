@@ -82,6 +82,49 @@ let tests =
           match List.find_map Fusion.pingpong_of_item (I.schedule b.prog) with
           | Some (12, _, "out", "in") -> ()
           | _ -> Alcotest.fail "pattern not recognized");
+      case "pingpong rejects a body writing both exchange buffers" (fun () ->
+          (* Regression: such a body was silently treated as a valid
+             ping-pong even though neither buffer is a pure sweep input. *)
+          let b = Suite.at_size 8 (Suite.find "7pt-smoother") in
+          match I.schedule b.prog with
+          | [ I.Repeat (t, ([ I.Launch k; I.Exchange (_, inp) ] as items)) ] ->
+            let idx =
+              match
+                List.find_map
+                  (function A.Assign (_, idx, _) -> Some idx | _ -> None)
+                  k.body
+              with
+              | Some idx -> idx
+              | None -> Alcotest.fail "no assignment in sweep body"
+            in
+            Alcotest.(check bool) "intact loop accepted" true
+              (Fusion.pingpong_of_item (I.Repeat (t, items)) <> None);
+            let k' = { k with I.body = k.body @ [ A.Assign (inp, idx, A.Const 0.0) ] } in
+            let item' =
+              I.Repeat (t, [ I.Launch k'; I.Exchange ("out", inp) ])
+            in
+            Alcotest.(check bool) "ambiguous loop rejected" true
+              (Fusion.pingpong_of_item item' = None)
+          | _ -> Alcotest.fail "unexpected schedule shape");
+      case "pingpong rejects a body that never reads the exchanged input"
+        (fun () ->
+          let b = Suite.at_size 8 (Suite.find "7pt-smoother") in
+          match I.schedule b.prog with
+          | [ I.Repeat (t, [ I.Launch k; I.Exchange (out, inp) ]) ] ->
+            let idx =
+              match
+                List.find_map
+                  (function A.Assign (_, idx, _) -> Some idx | _ -> None)
+                  k.body
+              with
+              | Some idx -> idx
+              | None -> Alcotest.fail "no assignment in sweep body"
+            in
+            let k' = { k with I.body = [ A.Assign (out, idx, A.Const 1.0) ] } in
+            let item' = I.Repeat (t, [ I.Launch k'; I.Exchange (out, inp) ]) in
+            Alcotest.(check bool) "input-blind loop rejected" true
+              (Fusion.pingpong_of_item item' = None)
+          | _ -> Alcotest.fail "unexpected schedule shape");
       case "fuse_dag concatenates same-domain kernels" (fun () ->
           let b = Suite.at_size 8 (Suite.find "diffterm") in
           match Suite.kernels b with

@@ -153,6 +153,28 @@ let tests =
             (List.length r.versions <= 6);
           Alcotest.(check bool) "tipping <= 6 (paper: under 4 for all)" true
             (r.tipping_point <= 6));
+      case "tipping point is always a measured time tile" (fun () ->
+          (* Regression: a single-version exploration used to report
+             last.time_tile + 1 — a tile that was never measured. *)
+          let k = jacobi () in
+          let plan_of fused = Lower.lower dev fused O.default in
+          let r1 = Deep.explore ~max_tile:1 ~plan_of k ~out:"out" ~inp:"in" in
+          Alcotest.(check int) "single version" 1 (List.length r1.versions);
+          Alcotest.(check int) "clamped to the explored range" 1 r1.tipping_point;
+          let r6 = Deep.explore ~max_tile:6 ~plan_of k ~out:"out" ~inp:"in" in
+          Alcotest.(check bool) "tipping was actually explored" true
+            (List.exists (fun v -> v.Deep.time_tile = r6.tipping_point) r6.versions));
+      case "generic search reports attempted and measured separately" (fun () ->
+          (* Regression: a single `explored` count only counted successful
+             measurements while the budget capped attempts. *)
+          let k = jacobi () in
+          let base = Lower.lower dev k O.default in
+          let r = Ot.tune ~budget:120 base in
+          Alcotest.(check int) "budget caps attempts"
+            (min 120 r.space_size) r.attempted;
+          Alcotest.(check bool) "measured <= attempted" true
+            (r.measured <= r.attempted);
+          Alcotest.(check bool) "something measured" true (r.measured > 0));
       case "optimal_schedule rejects negative T" (fun () ->
           let k = jacobi ~n:16 () in
           let plan_of fused = Lower.lower dev fused O.default in
