@@ -3,7 +3,7 @@
 TRACE   := /tmp/artemis-trace.json
 REPORT  := /tmp/artemis-report.json
 
-.PHONY: all build test check bench trace-smoke fuzz-smoke clean
+.PHONY: all build test check bench trace-smoke lint-smoke fuzz-smoke clean
 
 all: build
 
@@ -13,11 +13,13 @@ build:
 test:
 	dune runtest
 
-# What CI runs: everything must compile, the full suite must pass, and
-# the differential fuzzer must replay its smoke seeds with no findings.
+# What CI runs: everything must compile, the full suite must pass, the
+# linter must accept the example and benchmark corpus, and the
+# differential fuzzer must replay its smoke seeds with no findings.
 check:
 	dune build @all
 	dune runtest
+	$(MAKE) lint-smoke
 	$(MAKE) fuzz-smoke
 
 bench:
@@ -32,11 +34,19 @@ trace-smoke:
 	@grep -q '"schema_version"' $(REPORT) && echo "report OK: $(REPORT)"
 	@rm -f examples/jacobi.stc.report.txt examples/jacobi.stc.*-fission.stc
 
+# Lint smoke test (docs/LINT.md): the example program with its baseline
+# plan and every Table-I benchmark must lint with no Error findings.
+lint-smoke:
+	dune exec bin/artemisc.exe -- lint examples/jacobi.stc --plan
+	dune exec bin/artemisc.exe -- lint --suite --plan
+
 # Differential verification smoke test (docs/VERIFY.md): seed 42 is the
 # acceptance seed, seed 7 once crashed the pipeline and stays pinned.
+# Both replay with the lint invariant armed (no Error finding on any
+# accepted pair).
 fuzz-smoke:
-	dune exec bin/artemisc.exe -- fuzz --seed 42 --cases 25
-	dune exec bin/artemisc.exe -- fuzz --seed 7 --cases 25
+	dune exec bin/artemisc.exe -- fuzz --seed 42 --cases 25 --lint
+	dune exec bin/artemisc.exe -- fuzz --seed 7 --cases 25 --lint
 
 clean:
 	dune clean

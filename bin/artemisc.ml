@@ -6,6 +6,7 @@
      artemisc optimize prog.stc     # profile -> tune -> hints -> CUDA
      artemisc deep     prog.stc     # deep tuning of an iterative program
      artemisc check    prog.stc     # parse + semantic check only
+     artemisc lint     prog.stc     # whole-pipeline diagnostics (docs/LINT.md)
      artemisc bench <name>          # run one suite benchmark end to end
      artemisc fuzz --seed N         # differential fuzzing of the pipeline
      artemisc trace-info t.json     # summarize a recorded trace
@@ -25,6 +26,22 @@ let read_program path =
   | Artemis.Check.Semantic_error msg ->
     `Error (false, Printf.sprintf "%s: semantic error: %s" path msg)
   | Sys_error msg -> `Error (false, msg)
+
+(** Parse only — no semantic check.  [check] and [lint] run
+    [Check.check_all] themselves so they can report every violation. *)
+let read_unchecked path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> `Error (false, msg)
+  | src -> (
+    match Artemis.Parser.parse_program src with
+    | exception Artemis.Parser.Parse_error (msg, line) ->
+      `Error (false, Printf.sprintf "%s:%d: syntax error: %s" path line msg)
+    | prog -> `Ok prog)
 
 let path_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"PROG.stc"
@@ -104,16 +121,111 @@ let with_trace trace f =
 let check_cmd =
   let run trace path =
     with_trace trace @@ fun () ->
-    match read_program path with
-    | `Ok prog ->
-      let n_kernels = Artemis.Instantiate.launch_count (Artemis.Instantiate.schedule prog) in
-      Printf.printf "%s: OK (%d stencil(s), %d launch(es))\n" path
-        (List.length prog.stencils) n_kernels;
-      `Ok ()
+    match read_unchecked path with
+    | `Ok prog -> (
+      match Artemis.Check.check_all prog with
+      | [] ->
+        let n_kernels =
+          Artemis.Instantiate.launch_count (Artemis.Instantiate.schedule prog)
+        in
+        Printf.printf "%s: OK (%d stencil(s), %d launch(es))\n" path
+          (List.length prog.stencils) n_kernels;
+        `Ok ()
+      | msgs ->
+        List.iter (fun m -> Printf.printf "%s: semantic error: %s\n" path m) msgs;
+        `Error (false, Printf.sprintf "%d semantic error(s)" (List.length msgs)))
     | `Error _ as e -> e
   in
-  Cmd.v (Cmd.info "check" ~doc:"Parse and semantically check a DSL program")
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Parse and semantically check a DSL program (reports every violation)")
     Term.(ret (const run $ trace_arg $ path_arg))
+
+(* ---------------- lint ---------------- *)
+
+let lint_cmd =
+  let path_opt_arg =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"PROG.stc"
+           ~doc:"Stencil DSL program (omit with $(b,--suite))")
+  in
+  let plan_arg =
+    Arg.(value & flag & info [ "plan" ]
+           ~doc:"Also lint the baseline pragma plan of every scheduled kernel")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit findings as stable JSON instead of text")
+  in
+  let suite_arg =
+    Arg.(value & flag & info [ "suite" ]
+           ~doc:"Lint every Table-I suite benchmark instead of one file")
+  in
+  (* Distinct kernels of the schedule, first-launch order. *)
+  let kernels_of prog =
+    let rec collect acc = function
+      | [] -> acc
+      | Artemis.Instantiate.Launch k :: rest -> collect (k :: acc) rest
+      | Artemis.Instantiate.Exchange _ :: rest -> collect acc rest
+      | Artemis.Instantiate.Repeat (_, sub) :: rest -> collect (collect acc sub) rest
+    in
+    List.fold_left
+      (fun acc (k : Artemis.Instantiate.kernel) ->
+        if List.exists
+             (fun (k' : Artemis.Instantiate.kernel) -> k'.kname = k.kname)
+             acc
+        then acc
+        else acc @ [ k ])
+      []
+      (List.rev (collect [] (Artemis.Instantiate.schedule prog)))
+  in
+  let lint_one ~plan prog =
+    match Artemis.Check.check_all prog with
+    | _ :: _ as msgs -> Artemis.Lint.semantic_findings msgs
+    | [] ->
+      Artemis.Lint.lint_program prog
+      @ (if plan then
+           List.concat_map
+             (fun k ->
+               Artemis.Lint.lint_plan
+                 (Artemis.Lower.lower_with_pragma Artemis.Device.p100 k
+                    Artemis.Options.default))
+             (kernels_of prog)
+         else [])
+  in
+  let emit_and_status json findings =
+    if json then
+      print_endline
+        (Json.to_string ~indent:true (Artemis.Lint.findings_to_json findings))
+    else print_string (Artemis.Lint.report findings);
+    match Artemis.Lint.errors findings with
+    | [] -> `Ok ()
+    | es -> `Error (false, Printf.sprintf "%d lint error(s)" (List.length es))
+  in
+  let run trace path plan json suite =
+    with_trace trace @@ fun () ->
+    if suite then
+      let findings =
+        List.concat_map
+          (fun (b : Artemis.Suite.t) -> lint_one ~plan b.prog)
+          Artemis.Suite.all
+      in
+      (if (not json) && findings = [] then
+         Printf.printf "suite: %d benchmark(s), " (List.length Artemis.Suite.all));
+      emit_and_status json findings
+    else
+      match path with
+      | None -> `Error (true, "PROG.stc required unless --suite is given")
+      | Some path -> (
+        match read_unchecked path with
+        | `Ok prog -> emit_and_status json (lint_one ~plan prog)
+        | `Error _ as e -> e)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Whole-pipeline diagnostics: hazards, bounds, liveness, and \
+             resource feasibility (codes catalogued in docs/LINT.md); exits \
+             non-zero when any Error-level finding is reported")
+    Term.(ret (const run $ trace_arg $ path_opt_arg $ plan_arg $ json_arg $ suite_arg))
 
 (* ---------------- compile ---------------- *)
 
@@ -302,9 +414,15 @@ let fuzz_cmd =
              ~doc:"Write each shrunk finding there as a replayable .stc + \
                    .repro.txt description")
   in
-  let run trace seed cases dump_dir =
+  let lint_arg =
+    Arg.(value & flag
+         & info [ "lint" ]
+             ~doc:"Also enforce the lint invariant: no Error-level finding on \
+                   any accepted (program, plan) pair")
+  in
+  let run trace seed cases dump_dir lint =
     with_trace trace @@ fun () ->
-    let s = Artemis_verify.Harness.run ?dump_dir ~seed ~cases () in
+    let s = Artemis_verify.Harness.run ?dump_dir ~lint ~seed ~cases () in
     print_string (Artemis_verify.Harness.summary_to_string s);
     match s.findings with
     | [] -> `Ok ()
@@ -319,7 +437,7 @@ let fuzz_cmd =
        ~doc:"Differential fuzzing: random programs x sampled plans, checked \
              bit-exactly against the reference executor and the analytic \
              counter model")
-    Term.(ret (const run $ trace_arg $ seed_arg $ cases_arg $ dump_arg))
+    Term.(ret (const run $ trace_arg $ seed_arg $ cases_arg $ dump_arg $ lint_arg))
 
 (* ---------------- trace-info ---------------- *)
 
@@ -382,5 +500,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ check_cmd; compile_cmd; optimize_cmd; deep_cmd; bench_cmd; list_cmd;
-            fuzz_cmd; trace_info_cmd ]))
+          [ check_cmd; lint_cmd; compile_cmd; optimize_cmd; deep_cmd; bench_cmd;
+            list_cmd; fuzz_cmd; trace_info_cmd ]))

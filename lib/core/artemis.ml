@@ -25,6 +25,7 @@ module Counters = Artemis_gpu.Counters
 module Plan = Artemis_ir.Plan
 module Validate = Artemis_ir.Validate
 module Estimate = Artemis_ir.Estimate
+module Lint = Artemis_lint.Lint
 module Analytic = Artemis_exec.Analytic
 module Reference = Artemis_exec.Reference
 module Kernel_exec = Artemis_exec.Kernel_exec

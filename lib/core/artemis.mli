@@ -18,6 +18,10 @@ module Counters = Artemis_gpu.Counters
 module Plan = Artemis_ir.Plan
 module Validate = Artemis_ir.Validate
 module Estimate = Artemis_ir.Estimate
+
+(** Whole-pipeline diagnostics (see docs/LINT.md). *)
+module Lint = Artemis_lint.Lint
+
 module Analytic = Artemis_exec.Analytic
 module Reference = Artemis_exec.Reference
 module Kernel_exec = Artemis_exec.Kernel_exec

@@ -1,12 +1,17 @@
 (* Semantic checking for parsed DSL programs: name resolution, arity and
    dimensionality consistency, iterator discipline.  All later phases may
-   assume a [check]ed program is well-formed. *)
+   assume a [check]ed program is well-formed.
+
+   The checker is written against an [emit] sink so one traversal serves
+   both entry points: [check_all] collects every violation in traversal
+   order; [check] raises on the head of that list, preserving the
+   historical first-error behaviour.  After emitting, each site recovers
+   locally (skips the dependent checks for that construct) so later,
+   independent violations are still found. *)
 
 open Ast
 
 exception Semantic_error of string
-
-let fail fmt = Format.kasprintf (fun s -> raise (Semantic_error s)) fmt
 
 let find_dup names =
   let tbl = Hashtbl.create 16 in
@@ -30,9 +35,6 @@ let array_rank prog name =
       | Array_decl _ | Scalar_decl _ -> None)
     prog.decls
 
-let is_scalar prog name =
-  List.exists (function Scalar_decl n -> n = name | Array_decl _ -> false) prog.decls
-
 (* Math intrinsics accepted in stencil bodies, with their arity. *)
 let intrinsics =
   [ ("sqrt", 1); ("fabs", 1); ("exp", 1); ("log", 1); ("sin", 1); ("cos", 1);
@@ -54,62 +56,71 @@ type usage = {
   mutable used_scalar : bool;
 }
 
-let check_indices prog sname usages name idx =
+let check_indices ~emit prog sname usages name idx =
   (match List.assoc_opt name usages with
-   | None -> fail "stencil %s: unknown name %s" sname name
+   | None -> emit (Printf.sprintf "stencil %s: unknown name %s" sname name)
    | Some u ->
-     if u.used_scalar then fail "stencil %s: %s used both as scalar and array" sname name;
-     (match u.used_rank with
-      | None -> u.used_rank <- Some (List.length idx)
-      | Some r ->
-        if r <> List.length idx then
-          fail "stencil %s: %s accessed with rank %d and %d" sname name r (List.length idx)));
+     if u.used_scalar then
+       emit (Printf.sprintf "stencil %s: %s used both as scalar and array" sname name)
+     else (
+       match u.used_rank with
+       | None -> u.used_rank <- Some (List.length idx)
+       | Some r ->
+         if r <> List.length idx then
+           emit
+             (Printf.sprintf "stencil %s: %s accessed with rank %d and %d" sname name r
+                (List.length idx))));
   (* Each index is [iterator + shift] or a constant; iterators must be
      declared and appear in declaration order within one access, each at
      most once. *)
-  let order_of it =
-    match List.find_index (String.equal it) prog.iters with
-    | Some i -> i
-    | None -> fail "stencil %s: %s indexed by undeclared iterator %s" sname name it
-  in
   let rec check_order last = function
     | [] -> ()
     | { iter = None; _ } :: rest -> check_order last rest
-    | { iter = Some it; _ } :: rest ->
-      let o = order_of it in
-      if o <= last then
-        fail "stencil %s: iterators out of order (or repeated) in access to %s" sname name;
-      check_order o rest
+    | { iter = Some it; _ } :: rest -> (
+      match List.find_index (String.equal it) prog.iters with
+      | None ->
+        (* Undeclared iterator: report once and stop ordering this access. *)
+        emit
+          (Printf.sprintf "stencil %s: %s indexed by undeclared iterator %s" sname name
+             it)
+      | Some o ->
+        if o <= last then
+          emit
+            (Printf.sprintf
+               "stencil %s: iterators out of order (or repeated) in access to %s" sname
+               name)
+        else check_order o rest)
   in
   check_order (-1) idx
 
-let check_body prog (s : stencil_def) =
+let check_body ~emit prog (s : stencil_def) =
   (match find_dup s.formals with
-   | Some d -> fail "stencil %s: duplicate formal %s" s.sname d
+   | Some d -> emit (Printf.sprintf "stencil %s: duplicate formal %s" s.sname d)
    | None -> ());
   let usages = ref (List.map (fun f -> (f, { used_rank = None; used_scalar = false })) s.formals) in
   let mark_scalar name =
     match List.assoc_opt name !usages with
-    | None -> fail "stencil %s: unknown name %s" s.sname name
+    | None -> emit (Printf.sprintf "stencil %s: unknown name %s" s.sname name)
     | Some u ->
       if u.used_rank <> None then
-        fail "stencil %s: %s used both as scalar and array" s.sname name;
-      u.used_scalar <- true
+        emit (Printf.sprintf "stencil %s: %s used both as scalar and array" s.sname name)
+      else u.used_scalar <- true
   in
   let rec check_expr e =
     match e with
     | Const _ -> ()
     | Scalar_ref n -> mark_scalar n
-    | Access (a, idx) -> check_indices prog s.sname !usages a idx
+    | Access (a, idx) -> check_indices ~emit prog s.sname !usages a idx
     | Neg e1 -> check_expr e1
     | Bin (_, e1, e2) -> check_expr e1; check_expr e2
     | Call (f, args) ->
       (match List.assoc_opt f intrinsics with
-       | None -> fail "stencil %s: unknown function %s" s.sname f
+       | None -> emit (Printf.sprintf "stencil %s: unknown function %s" s.sname f)
        | Some arity ->
          if arity <> List.length args then
-           fail "stencil %s: %s expects %d argument(s), got %d" s.sname f arity
-             (List.length args));
+           emit
+             (Printf.sprintf "stencil %s: %s expects %d argument(s), got %d" s.sname f
+                arity (List.length args)));
       List.iter check_expr args
   in
   List.iter
@@ -117,10 +128,12 @@ let check_body prog (s : stencil_def) =
       match stmt with
       | Decl_temp (n, e) ->
         check_expr e;
-        if List.mem_assoc n !usages then fail "stencil %s: %s redefined" s.sname n;
+        if List.mem_assoc n !usages then
+          emit (Printf.sprintf "stencil %s: %s redefined" s.sname n);
+        (* Record the temporary regardless so later uses don't cascade. *)
         usages := (n, { used_rank = None; used_scalar = true }) :: !usages
       | Assign (a, idx, e) | Accum (a, idx, e) ->
-        check_indices prog s.sname !usages a idx;
+        check_indices ~emit prog s.sname !usages a idx;
         check_expr e)
     s.body;
   (* #assign clauses must name formals. *)
@@ -129,7 +142,9 @@ let check_body prog (s : stencil_def) =
       List.iter
         (fun n ->
           if not (List.mem n s.formals) then
-            fail "stencil %s: #assign names %s which is not a formal" s.sname n)
+            emit
+              (Printf.sprintf "stencil %s: #assign names %s which is not a formal"
+                 s.sname n))
         names)
     s.assign;
   (* Expose per-formal usage (rank) for call checking. *)
@@ -140,39 +155,40 @@ let check_body prog (s : stencil_def) =
       | None -> None)
     s.formals
 
-let check_call prog formal_ranks (s : stencil_def) actuals =
+let check_call ~emit prog formal_ranks (s : stencil_def) actuals =
   if List.length actuals <> List.length s.formals then
-    fail "call to %s: expected %d arguments, got %d" s.sname (List.length s.formals)
-      (List.length actuals);
-  List.iter2
-    (fun formal actual ->
-      let rank = List.assoc formal formal_ranks in
-      match rank with
-      | Some r -> (
-        match array_rank prog actual with
-        | Some ar when ar = r -> ()
-        | Some ar ->
-          fail "call to %s: %s has rank %d but %s is used with rank %d" s.sname actual ar
-            formal r
-        | None -> fail "call to %s: %s must be an array of rank %d" s.sname actual r)
-      | None ->
-        if not (is_scalar prog actual) && array_rank prog actual <> None then
-          (* Arrays may be passed to scalar-unused formals only if unused. *)
-          ())
-    s.formals actuals
+    emit
+      (Printf.sprintf "call to %s: expected %d arguments, got %d" s.sname
+         (List.length s.formals) (List.length actuals))
+  else
+    List.iter2
+      (fun formal actual ->
+        match List.assoc_opt formal formal_ranks with
+        | None | Some None ->
+          (* Unused (or scalar-used) formals accept anything declared. *)
+          ()
+        | Some (Some r) -> (
+          match array_rank prog actual with
+          | Some ar when ar = r -> ()
+          | Some ar ->
+            emit
+              (Printf.sprintf "call to %s: %s has rank %d but %s is used with rank %d"
+                 s.sname actual ar formal r)
+          | None ->
+            emit
+              (Printf.sprintf "call to %s: %s must be an array of rank %d" s.sname
+                 actual r)))
+      s.formals actuals
 
-(** Check a whole program.
-    @raise Semantic_error with a human-readable message on the first
-    violation found. *)
-let check (prog : program) =
+let check_gen ~emit (prog : program) =
   (match find_dup (List.map fst prog.params) with
-   | Some d -> fail "duplicate parameter %s" d
+   | Some d -> emit (Printf.sprintf "duplicate parameter %s" d)
    | None -> ());
   (match find_dup prog.iters with
-   | Some d -> fail "duplicate iterator %s" d
+   | Some d -> emit (Printf.sprintf "duplicate iterator %s" d)
    | None -> ());
   (match find_dup (List.map decl_name prog.decls) with
-   | Some d -> fail "duplicate declaration %s" d
+   | Some d -> emit (Printf.sprintf "duplicate declaration %s" d)
    | None -> ());
   (* Array extents must reference declared parameters. *)
   List.iter
@@ -182,45 +198,68 @@ let check (prog : program) =
           (function
             | Dparam p ->
               if not (List.mem_assoc p prog.params) then
-                fail "array %s sized by undeclared parameter %s" a p
-            | Dconst c -> if c <= 0 then fail "array %s has non-positive extent" a)
+                emit (Printf.sprintf "array %s sized by undeclared parameter %s" a p)
+            | Dconst c ->
+              if c <= 0 then emit (Printf.sprintf "array %s has non-positive extent" a))
           dims
       | Scalar_decl _ -> ())
     prog.decls;
   let declared n = List.exists (fun d -> decl_name d = n) prog.decls in
   List.iter
-    (fun n -> if not (declared n) then fail "copyin of undeclared %s" n)
+    (fun n -> if not (declared n) then emit (Printf.sprintf "copyin of undeclared %s" n))
     prog.copyin;
   List.iter
-    (fun n -> if not (declared n) then fail "copyout of undeclared %s" n)
+    (fun n -> if not (declared n) then emit (Printf.sprintf "copyout of undeclared %s" n))
     prog.copyout;
   (match find_dup (List.map (fun s -> s.sname) prog.stencils) with
-   | Some d -> fail "duplicate stencil %s" d
+   | Some d -> emit (Printf.sprintf "duplicate stencil %s" d)
    | None -> ());
   let ranks_by_stencil =
-    List.map (fun s -> (s.sname, (s, check_body prog s))) prog.stencils
+    List.map (fun s -> (s.sname, (s, check_body ~emit prog s))) prog.stencils
   in
   let check_app = function
     | Apply (f, actuals) -> (
       match List.assoc_opt f ranks_by_stencil with
-      | None -> fail "call to undefined stencil %s" f
+      | None -> emit (Printf.sprintf "call to undefined stencil %s" f)
       | Some (s, ranks) ->
         List.iter
-          (fun a -> if not (declared a) then fail "call to %s passes undeclared %s" f a)
+          (fun a ->
+            if not (declared a) then
+              emit (Printf.sprintf "call to %s passes undeclared %s" f a))
           actuals;
-        check_call prog ranks s actuals)
-    | Swap (a, b) ->
+        check_call ~emit prog ranks s actuals)
+    | Swap (a, b) -> (
       let rank n =
         match array_rank prog n with
-        | Some r -> r
-        | None -> fail "swap of non-array %s" n
+        | Some r -> Some r
+        | None ->
+          emit (Printf.sprintf "swap of non-array %s" n);
+          None
       in
-      if rank a <> rank b then fail "swap of arrays with different ranks: %s, %s" a b
+      match (rank a, rank b) with
+      | Some ra, Some rb when ra <> rb ->
+        emit (Printf.sprintf "swap of arrays with different ranks: %s, %s" a b)
+      | _ -> ())
   in
   List.iter
     (function
       | Run app -> check_app app
       | Iterate (n, apps) ->
-        if n < 0 then fail "negative iterate count";
+        if n < 0 then emit "negative iterate count";
         List.iter check_app apps)
     prog.main
+
+(** Every semantic violation of the program, in traversal order (the
+    head is what [check] raises). *)
+let check_all (prog : program) =
+  let acc = ref [] in
+  check_gen ~emit:(fun m -> acc := m :: !acc) prog;
+  List.rev !acc
+
+(** Check a whole program.
+    @raise Semantic_error with a human-readable message on the first
+    violation found. *)
+let check (prog : program) =
+  match check_all prog with
+  | [] -> ()
+  | e :: _ -> raise (Semantic_error e)

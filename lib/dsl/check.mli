@@ -8,5 +8,10 @@ exception Semantic_error of string
 (** @raise Semantic_error with a readable message on the first violation. *)
 val check : Ast.program -> unit
 
+(** Every violation, in traversal order; [[]] means well-formed.  [check]
+    raises the head of this list, so the two entry points agree on the
+    first error. *)
+val check_all : Ast.program -> string list
+
 (** Math intrinsics accepted in stencil bodies, with arities. *)
 val intrinsics : (string * int) list

@@ -82,6 +82,14 @@ let violations (p : Plan.t) =
   end;
   let vs = List.rev !errs in
   Artemis_obs.Metrics.incr (if vs = [] then m_validated_ok else m_validated_bad);
+  (* Per-kind counts: which limit actually filters plans (the tags are
+     bounded, so they are safe as metric labels). *)
+  List.iter
+    (fun v ->
+      Artemis_obs.Metrics.incr
+        (Artemis_obs.Metrics.counter "validate.violations"
+           ~labels:[ ("tag", violation_tag v) ]))
+    vs;
   vs
 
 let is_valid p = violations p = []

@@ -1,0 +1,93 @@
+(** Whole-pipeline stencil diagnostics.
+
+    A unified linter over the three layers of the ARTEMIS pipeline:
+
+    - {b DSL/kernel level} ([lint_program], [lint_kernel]): uninitialized
+      reads across the host schedule, out-of-bounds accesses and empty
+      interiors from halo analysis, dead statements over the dependence
+      graph, unused declarations/formals/stencils, dead stores, and the
+      recomputation halo fusion pays for.
+    - {b Plan level} ([lint_plan]): launch-limit and shared-budget
+      violations, [#pragma occupancy] feasibility against the register
+      stepping rule, predicted spills, shared-memory RAW/WAR hazards in
+      the lowered statement order, uncoalesced global reads, and
+      bank-conflict-prone shared row widths.
+    - {b Pipeline integration}: the tuner prunes plans via
+      [launch_errors] (counted in [tuner.configs_lint_pruned]), the fuzz
+      oracle asserts no Error finding on accepted (program, plan) pairs,
+      and [artemisc lint] renders findings as text or JSON.
+
+    Every finding carries a stable code (catalogued in [catalog] and
+    docs/LINT.md).  Severities: an [Error] means the pipeline would
+    produce wrong results or an unlaunchable kernel; a [Warning] flags a
+    hazard or a performance trap that the block simulator itself does not
+    trip over; [Info] is advisory.
+
+    [lint_program]/[lint_kernel] assume the program passed [Check.check]
+    (use [semantic_findings] to surface checker output in the same
+    format). *)
+
+type severity =
+  | Error
+  | Warning
+  | Info
+
+type phase =
+  | Dsl  (** program/kernel-level analysis *)
+  | Plan  (** lowered-plan-level analysis *)
+
+type finding = {
+  code : string;  (** stable diagnostic code, e.g. "A201" *)
+  severity : severity;
+  phase : phase;
+  location : string;  (** program / kernel / plan the finding is about *)
+  message : string;
+  hint : string;  (** how to fix it; may be empty *)
+}
+
+val severity_to_string : severity -> string
+val phase_to_string : phase -> string
+
+(** Every diagnostic code with its severity and a one-line summary, in
+    code order — the source of truth docs/LINT.md documents. *)
+val catalog : (string * severity * string) list
+
+(** Wrap [Check.check_all] output as A001 findings. *)
+val semantic_findings : string list -> finding list
+
+(** Kernel-level findings: out-of-extent accesses (A201 — Warning, not
+    Error, because the emitted per-statement guard skips such points),
+    empty interior (A202), recompute halo (A203), dead statements
+    (A301). *)
+val lint_kernel : Artemis_dsl.Instantiate.kernel -> finding list
+
+(** Program-level findings: everything [lint_kernel] reports for each
+    distinct scheduled kernel, plus uninitialized reads (A103), unused
+    declarations/formals/stencils (A302/A303/A304), and dead stores
+    (A305).  The program must be [Check.check]-clean. *)
+val lint_program : Artemis_dsl.Ast.program -> finding list
+
+(** Plan-level findings: launch violations (A403/A405), occupancy-pragma
+    feasibility (A401/A404), spills (A402), shared-staging hazards
+    (A101/A102), coalescing (A501), bank conflicts (A502). *)
+val lint_plan : Artemis_ir.Plan.t -> finding list
+
+(** Just the Error-level launch findings (A403/A405) — the cheap subset
+    the tuner prunes with.  [launch_errors p = []] iff
+    [Validate.violations p = []], so pruning on it never drops a
+    measurable configuration. *)
+val launch_errors : Artemis_ir.Plan.t -> finding list
+
+val errors : finding list -> finding list
+val has_errors : finding list -> bool
+
+val finding_to_string : finding -> string
+
+(** Human-readable report: findings sorted errors-first plus a summary
+    line; ["no findings\n"] when empty. *)
+val report : finding list -> string
+
+val finding_to_json : finding -> Artemis_obs.Json.t
+
+(** [{"schema_version"; "errors"; "warnings"; "findings": [...]}]. *)
+val findings_to_json : finding list -> Artemis_obs.Json.t

@@ -10,7 +10,7 @@
    (Hints.decisions) prunes both phases. *)
 
 module Plan = Artemis_ir.Plan
-module Validate = Artemis_ir.Validate
+module Lint = Artemis_lint.Lint
 module Analytic = Artemis_exec.Analytic
 module Classify = Artemis_profile.Classify
 module Hints = Artemis_profile.Hints
@@ -41,13 +41,6 @@ let measure_stepped (p : Plan.t) = Analytic.try_measure (stepped p)
 
 let m_configs_measured = Metrics.counter "tuner.configs_measured"
 let m_tuner_runs = Metrics.counter "tuner.runs"
-
-(* Why a configuration could not be measured: the first device-limit
-   violation of the stepped plan, or a measurement failure. *)
-let prune_reason (p : Plan.t) =
-  match Validate.violations (stepped p) with
-  | v :: _ -> Validate.violation_tag v
-  | [] -> "measurement-failed"
 
 type knobs = {
   try_unroll : bool;
@@ -97,37 +90,51 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
      trail of the tuner (kept / dropped / pruned, with the measured
      TFLOPS and bottleneck verdict).  The classification is only
      computed when a trace sink is attached. *)
+  let prune ~phase ~reason plan =
+    Metrics.incr (Metrics.counter "tuner.configs_pruned" ~labels:[ ("reason", reason) ]);
+    if Trace.enabled () then
+      Trace.instant "tuner.config"
+        ~attrs:
+          [ ("phase", Str phase); ("plan", Str (Plan.label plan));
+            ("decision", Str "pruned"); ("reason", Str reason) ]
+  in
   let consider ~phase acc plan =
-    match measure_stepped plan with
-    | Some m ->
-      incr explored;
-      Metrics.incr m_configs_measured;
-      if Trace.enabled () then begin
-        let kept =
-          match acc with
-          | None -> true
-          | Some (a : Analytic.measurement) -> m.tflops > a.tflops
-        in
-        let prof = Classify.classify m.plan.device m.counters ~time_s:m.time_s in
-        Trace.instant "tuner.config"
-          ~attrs:
-            [ ("phase", Str phase); ("plan", Str (Plan.label m.plan));
-              ("tflops", Float m.tflops);
-              ("verdict", Str (Classify.verdict_to_string prof.verdict));
-              ("decision", Str (if kept then "keep" else "drop")) ]
-      end;
-      if List.length !history < 64 then
-        history := (Plan.label m.plan, m.tflops) :: !history;
-      better acc m
-    | None ->
-      let reason = prune_reason plan in
-      Metrics.incr (Metrics.counter "tuner.configs_pruned" ~labels:[ ("reason", reason) ]);
-      if Trace.enabled () then
-        Trace.instant "tuner.config"
-          ~attrs:
-            [ ("phase", Str phase); ("plan", Str (Plan.label plan));
-              ("decision", Str "pruned"); ("reason", Str reason) ];
+    let sp = stepped plan in
+    (* Error-carrying candidates are rejected before measurement.  The
+       launch lint is exactly Validate's violation set, so this prunes
+       precisely the configurations [try_measure] would refuse anyway —
+       same search result, with the rejection visible in metrics. *)
+    match Lint.launch_errors sp with
+    | (f : Lint.finding) :: _ ->
+      Metrics.incr
+        (Metrics.counter "tuner.configs_lint_pruned" ~labels:[ ("code", f.code) ]);
+      prune ~phase ~reason:("lint:" ^ f.code) plan;
       acc
+    | [] -> (
+      match Analytic.try_measure sp with
+      | Some m ->
+        incr explored;
+        Metrics.incr m_configs_measured;
+        if Trace.enabled () then begin
+          let kept =
+            match acc with
+            | None -> true
+            | Some (a : Analytic.measurement) -> m.tflops > a.tflops
+          in
+          let prof = Classify.classify m.plan.device m.counters ~time_s:m.time_s in
+          Trace.instant "tuner.config"
+            ~attrs:
+              [ ("phase", Str phase); ("plan", Str (Plan.label m.plan));
+                ("tflops", Float m.tflops);
+                ("verdict", Str (Classify.verdict_to_string prof.verdict));
+                ("decision", Str (if kept then "keep" else "drop")) ]
+        end;
+        if List.length !history < 64 then
+          history := (Plan.label m.plan, m.tflops) :: !history;
+        better acc m
+      | None ->
+        prune ~phase ~reason:"measurement-failed" plan;
+        acc)
   in
   Metrics.incr m_tuner_runs;
   (* ---- phase 1: block shapes x unroll vectors ---- *)

@@ -28,11 +28,6 @@ type summary = {
   findings : finding list;
 }
 
-let fails prog trial =
-  match Oracle.check prog trial with
-  | Oracle.Checked { mismatches = _ :: _; _ } -> true
-  | Oracle.Checked { mismatches = []; _ } | Oracle.Skipped _ -> false
-
 let render_finding ~seed (f : finding) =
   let base = Printf.sprintf "repro-seed%d-case%d" seed f.case_index in
   let stc = Pretty.program_to_string f.prog in
@@ -62,9 +57,14 @@ let dump_finding ~dir ~seed f =
       path)
     (render_finding ~seed f)
 
-let run ?dump_dir ~seed ~cases () =
+let run ?dump_dir ?(lint = false) ~seed ~cases () =
   Trace.with_span "verify.run" ~attrs:[ ("seed", Int seed); ("cases", Int cases) ]
   @@ fun () ->
+  let fails prog trial =
+    match Oracle.check ~lint prog trial with
+    | Oracle.Checked { mismatches = _ :: _; _ } -> true
+    | Oracle.Checked { mismatches = []; _ } | Oracle.Skipped _ -> false
+  in
   let trials_run = ref 0 in
   let trials_skipped = ref 0 in
   let plans_checked = ref 0 in
@@ -78,7 +78,7 @@ let run ?dump_dir ~seed ~cases () =
     List.iter
       (fun trial ->
         incr trials_run;
-        match Oracle.check case.prog trial with
+        match Oracle.check ~lint case.prog trial with
         | Oracle.Skipped reason ->
           incr trials_skipped;
           Metrics.incr m_skipped;
@@ -95,7 +95,7 @@ let run ?dump_dir ~seed ~cases () =
           (* Report the shrunk repro's own mismatches (the shrinker only
              keeps candidates that still fail). *)
           let mismatches =
-            match Oracle.check r.prog r.trial with
+            match Oracle.check ~lint r.prog r.trial with
             | Oracle.Checked { mismatches = ms; _ } -> ms
             | Oracle.Skipped _ -> []
           in

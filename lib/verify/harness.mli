@@ -27,8 +27,10 @@ type summary = {
 
 (** Run the harness.  When [dump_dir] is given, each finding is written
     there as a replayable [.stc] (pretty-printed, re-parseable) next to
-    a [.repro.txt] with the trial description and mismatch list. *)
-val run : ?dump_dir:string -> seed:int -> cases:int -> unit -> summary
+    a [.repro.txt] with the trial description and mismatch list.  With
+    [~lint:true] the oracle also enforces the third invariant: no
+    Error-level lint finding on any accepted (program, plan) pair. *)
+val run : ?dump_dir:string -> ?lint:bool -> seed:int -> cases:int -> unit -> summary
 
 (** Files a finding would be dumped to, and their contents — exposed so
     the CLI and tests share the exact dump format.  Returns

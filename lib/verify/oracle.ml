@@ -5,12 +5,14 @@ module I = Artemis_dsl.Instantiate
 module Plan = Artemis_ir.Plan
 module Counters = Artemis_gpu.Counters
 module E = Artemis_exec
+module Lint = Artemis_lint.Lint
 module Trace = Artemis_obs.Trace
 
 type mismatch =
   | Output_mismatch of { array : string; diff : float; margin : int }
   | Counter_mismatch of { plan : string; detail : string }
   | Schedule_counter_mismatch of { detail : string }
+  | Lint_error of { code : string; detail : string }
   | Crash of { detail : string }
 
 let mismatch_to_string = function
@@ -20,6 +22,8 @@ let mismatch_to_string = function
     Printf.sprintf "counter mismatch (class sum vs exact loop) on %s: %s" plan detail
   | Schedule_counter_mismatch { detail } ->
     Printf.sprintf "counter mismatch (executed vs analytic): %s" detail
+  | Lint_error { code; detail } ->
+    Printf.sprintf "lint error (%s) on an accepted pair: %s" code detail
   | Crash { detail } -> Printf.sprintf "crash: %s" detail
 
 type verdict =
@@ -58,7 +62,7 @@ let kernels_of_schedule sched =
 let crash e =
   Checked { plans = 0; mismatches = [ Crash { detail = Printexc.to_string e } ] }
 
-let check (prog : A.program) (trial : Sampler.trial) =
+let check ?(lint = false) (prog : A.program) (trial : Sampler.trial) =
   Trace.with_span "verify.trial" ~attrs:[ ("trial", Str (Sampler.trial_label trial)) ]
   @@ fun () ->
   (* Any exception past this point is a finding: the program checked and
@@ -96,6 +100,39 @@ let check (prog : A.program) (trial : Sampler.trial) =
             ~attrs:[ ("detail", Str (mismatch_to_string m)) ];
           mismatches := m :: !mismatches
         in
+        (* Invariant 3 (with ~lint): no Error-level finding on the
+           accepted pair — the program, each (possibly transformed)
+           kernel, and each validated plan must lint error-free. *)
+        if lint then begin
+          let push_errors findings =
+            List.iter
+              (fun (f : Lint.finding) ->
+                if f.severity = Lint.Error then
+                  push
+                    (Lint_error
+                       { code = f.code;
+                         detail = Printf.sprintf "%s: %s" f.location f.message }))
+              findings
+          in
+          (match Lint.lint_program prog with
+           | exception e -> push (Crash { detail = Printexc.to_string e })
+           | fs -> push_errors fs);
+          List.iter
+            (fun (k : I.kernel) ->
+              match Lint.lint_kernel k with
+              | exception e -> push (Crash { detail = Printexc.to_string e })
+              | fs -> push_errors fs)
+            kernels;
+          List.iter
+            (fun (_, plan) ->
+              match plan with
+              | None -> ()
+              | Some p -> (
+                match Lint.lint_plan p with
+                | exception e -> push (Crash { detail = Printexc.to_string e })
+                | fs -> push_errors fs))
+            plans
+        end;
         (* Invariant 2a: executed counters == analytic counters. *)
         (match E.Runner.measure_schedule steps with
         | exception e -> push (Crash { detail = Printexc.to_string e })

@@ -12,7 +12,12 @@
        agree with the analytic evaluator's ([Analytic.measure] summed by
        [Runner.measure_schedule]), and each plan's fast block-class
        counter summation must agree with the exact per-block loop
-       ([Traffic.total_counters ~exact:true]).}} *)
+       ([Traffic.total_counters ~exact:true]).}}
+
+    With [~lint:true] a third invariant is checked: no Error-level
+    [Artemis_lint] finding on any accepted (program, plan) pair — the
+    generator only produces programs the linter must consider sound, and
+    plans that validate must also lint clean of errors. *)
 
 type mismatch =
   | Output_mismatch of { array : string; diff : float; margin : int }
@@ -20,6 +25,8 @@ type mismatch =
       (** fast class summation vs exact per-block loop *)
   | Schedule_counter_mismatch of { detail : string }
       (** executed counters vs analytic counters over the schedule *)
+  | Lint_error of { code : string; detail : string }
+      (** an Error-level lint finding on an accepted (program, plan) pair *)
   | Crash of { detail : string }
       (** the pipeline raised on a checked program + valid plan *)
 
@@ -33,4 +40,4 @@ type verdict =
 (** Interior margin used for output comparison under this variant. *)
 val margin_of : Artemis_dsl.Ast.program -> Sampler.variant -> int
 
-val check : Artemis_dsl.Ast.program -> Sampler.trial -> verdict
+val check : ?lint:bool -> Artemis_dsl.Ast.program -> Sampler.trial -> verdict

@@ -17,6 +17,7 @@ let () =
       Test_tune.tests;
       Test_obs.tests;
       Test_fuse.tests;
+      Test_lint.tests;
       Test_verify.tests;
       Test_suite_bench.tests;
       Test_driver.tests;

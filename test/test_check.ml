@@ -87,6 +87,26 @@ let tests =
       check_fails "redefined temporary"
         {|parameter L=8; iterator i; double u[L], w;
           stencil s0 (x, v) { double t = v; double t = v; x[i] = t; } s0 (u, w);|};
+      case "check_all accumulates every violation" (fun () ->
+          let prog =
+            Parser.parse_program
+              {|parameter L=8, L=9; iterator i; double u[L]; copyin nosuch;
+                stencil s0 (x) { x[i] = x[i]; } s0 (u); copyout missing;|}
+          in
+          let msgs = Check.check_all prog in
+          Alcotest.(check bool) "several" true (List.length msgs >= 3);
+          (* [check] raises the first accumulated violation. *)
+          match Check.check prog with
+          | exception Check.Semantic_error m ->
+            Alcotest.(check string) "first" (List.hd msgs) m
+          | () -> Alcotest.fail "expected Semantic_error");
+      case "check_all is empty on a valid program" (fun () ->
+          let prog =
+            Parser.parse_program
+              {|parameter L=8; iterator i; double u[L];
+                stencil s0 (x) { x[i] = x[i]; } s0 (u); copyout u;|}
+          in
+          Alcotest.(check (list string)) "none" [] (Check.check_all prog));
       case "benchmark suite programs all pass" (fun () ->
           List.iter
             (fun (b : Artemis_bench.Suite.t) -> Check.check b.prog)
