@@ -3,7 +3,7 @@
 TRACE   := /tmp/artemis-trace.json
 REPORT  := /tmp/artemis-report.json
 
-.PHONY: all build test check bench trace-smoke lint-smoke fuzz-smoke clean
+.PHONY: all build test check bench trace-smoke lint-smoke fuzz-smoke perf-smoke clean
 
 all: build
 
@@ -21,6 +21,7 @@ check:
 	dune runtest
 	$(MAKE) lint-smoke
 	$(MAKE) fuzz-smoke
+	$(MAKE) perf-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -47,6 +48,12 @@ lint-smoke:
 fuzz-smoke:
 	dune exec bin/artemisc.exe -- fuzz --seed 42 --cases 25 --lint
 	dune exec bin/artemisc.exe -- fuzz --seed 7 --cases 25 --lint
+
+# Host-side performance smoke test (docs/PERF.md): a tiny tuner/fuzzer
+# workload at jobs=2 must beat the pre-PR serial configuration and
+# produce byte-identical artifacts.
+perf-smoke:
+	dune exec bench/main.exe -- tuner-smoke
 
 clean:
 	dune clean

@@ -609,12 +609,248 @@ let v100 () =
     \ the tuner picks different block shapes per device)\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* Tuner & executor wall clock: serial vs jobs=N, cache cold vs warm    *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock comparison of the whole tuning/verification stack across
+   execution configurations.  The "pre-pr" row is the historical code
+   path — serial, interpreter-backed evaluation, no measurement cache —
+   kept runnable through [Eval.use_interpreter] and
+   [Measure_cache.bypass].  On a single-core host the jobs=4 rows win on
+   the compiled evaluator and the cache alone; on a multicore host the
+   domain pool compounds that.  Every row must produce byte-identical
+   tuning artifacts — that equality is asserted and reported. *)
+
+type tuner_cfg = {
+  cfg_name : string;
+  cfg_jobs : int;
+  cfg_interp : bool;  (* interpreter-backed evaluation (pre-PR) *)
+  cfg_bypass : bool;  (* measurement cache off (pre-PR) *)
+  cfg_warm : bool;  (* keep the cache from the previous row *)
+}
+
+let tuner_configs =
+  [ { cfg_name = "pre-pr-serial"; cfg_jobs = 1; cfg_interp = true; cfg_bypass = true;
+      cfg_warm = false };
+    { cfg_name = "serial-cold"; cfg_jobs = 1; cfg_interp = false; cfg_bypass = false;
+      cfg_warm = false };
+    { cfg_name = "jobs4-cold"; cfg_jobs = 4; cfg_interp = false; cfg_bypass = false;
+      cfg_warm = false };
+    { cfg_name = "jobs4-warm"; cfg_jobs = 4; cfg_interp = false; cfg_bypass = false;
+      cfg_warm = true } ]
+
+let with_tuner_cfg cfg f =
+  let saved_jobs = Artemis.Pool.jobs () in
+  let saved_interp = !Artemis_exec.Eval.use_interpreter in
+  let saved_bypass = !Artemis.Measure_cache.bypass in
+  Artemis.Pool.set_jobs cfg.cfg_jobs;
+  Artemis_exec.Eval.use_interpreter := cfg.cfg_interp;
+  Artemis.Measure_cache.bypass := cfg.cfg_bypass;
+  if not cfg.cfg_warm then Artemis.Measure_cache.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Artemis.Pool.set_jobs saved_jobs;
+      Artemis_exec.Eval.use_interpreter := saved_interp;
+      Artemis.Measure_cache.bypass := saved_bypass)
+    f
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+(* A small executable program: big enough that executor time dominates
+   setup, small enough that the interpreted baseline stays affordable. *)
+let exec_src =
+  {|parameter L=96; iterator i, j; double u[L,L], v[L,L]; copyin v;
+    stencil s0 (x, y) {
+      double t = 0.25 * (y[i-1][j] + y[i+1][j] + y[i][j-1] + y[i][j+1]);
+      x[i][j] = t + sqrt(fabs(t)) + min(t, fma(t, t, 0.5));
+    }
+    s0 (u, v); copyout u;|}
+
+(* The four measured components.  Each returns a printable artifact that
+   must be identical across configurations. *)
+let tuner_components ~fuzz_cases ~max_tile ~exec_reps =
+  let opt () =
+    let k = List.hd (Suite.kernels (Suite.find "7pt-smoother")) in
+    let r = Artemis.optimize_kernel k in
+    Printf.sprintf "%s explored=%d" (Plan.label r.tuned.plan) r.explored
+  in
+  let deep () =
+    let b = Suite.find "7pt-smoother" in
+    let dr = Artemis.deep_tune ~max_tile b.prog in
+    String.concat ";"
+      (List.map
+         (fun (v : Artemis.Deep.version) ->
+           Printf.sprintf "%d:%s" v.time_tile (Plan.label v.record.best.plan))
+         dr.deep.versions)
+    ^ Printf.sprintf "|sched=[%s]"
+        (String.concat ";" (List.map string_of_int dr.schedule))
+  in
+  let fuzz () =
+    let s = Artemis_verify.Harness.run ~lint:true ~seed:11 ~cases:fuzz_cases () in
+    Printf.sprintf "trials=%d plans=%d findings=%d" s.trials_run s.plans_checked
+      (List.length s.findings)
+  in
+  let exec () =
+    let prog = Artemis.parse_string exec_src in
+    let k = Artemis.first_kernel prog in
+    let scalars = Artemis.Reference.scalars_of_program prog in
+    let plan = Artemis.Lower.lower dev k O.default in
+    let counters = ref 0.0 in
+    for _ = 1 to exec_reps do
+      let store = Artemis.Reference.store_of_program prog in
+      Artemis.Reference.run_kernel store ~scalars k;
+      let store2 = Artemis.Reference.store_of_program prog in
+      let c = Artemis.Kernel_exec.run plan store2 ~scalars in
+      counters := !counters +. c.C.useful_flops
+    done;
+    Printf.sprintf "flops=%.0f" !counters
+  in
+  [ ("optimize", opt); ("deep", deep); ("fuzz", fuzz); ("exec", exec) ]
+
+(* Run every configuration; returns per-config (component, seconds,
+   artifact) rows. *)
+let tuner_matrix ~fuzz_cases ~max_tile ~exec_reps =
+  List.map
+    (fun cfg ->
+      let rows =
+        with_tuner_cfg cfg (fun () ->
+            List.map
+              (fun (name, f) ->
+                let s, artifact = wall f in
+                (name, s, artifact))
+              (tuner_components ~fuzz_cases ~max_tile ~exec_reps))
+      in
+      (cfg, rows))
+    tuner_configs
+
+let total rows = List.fold_left (fun acc (_, s, _) -> acc +. s) 0.0 rows
+
+(* The memoized components — the ones a warm cache can short-circuit. *)
+let cached_total rows =
+  List.fold_left
+    (fun acc (name, s, _) ->
+      if name = "optimize" || name = "deep" then acc +. s else acc)
+    0.0 rows
+
+let artifacts rows = List.map (fun (name, _, a) -> (name, a)) rows
+
+let tuner_report matrix =
+  let find name = List.find (fun (c, _) -> c.cfg_name = name) matrix in
+  let pre = snd (find "pre-pr-serial") in
+  let cold4 = snd (find "jobs4-cold") in
+  let warm4 = snd (find "jobs4-warm") in
+  let speedup = total pre /. Float.max (total cold4) 1e-9 in
+  let warm_speedup = cached_total cold4 /. Float.max (cached_total warm4) 1e-9 in
+  let plans_equal =
+    List.for_all (fun (_, rows) -> artifacts rows = artifacts pre) matrix
+  in
+  (speedup, warm_speedup, plans_equal)
+
+let write_tuner_json matrix =
+  let module J = Artemis.Json in
+  let speedup, warm_speedup, plans_equal = tuner_report matrix in
+  let doc =
+    J.Obj
+      [ ("schema_version", J.Int 1);
+        ("configs",
+         J.List
+           (List.map
+              (fun (cfg, rows) ->
+                J.Obj
+                  [ ("name", J.Str cfg.cfg_name); ("jobs", J.Int cfg.cfg_jobs);
+                    ("interpreter", J.Bool cfg.cfg_interp);
+                    ("cache",
+                     J.Str
+                       (if cfg.cfg_bypass then "off"
+                        else if cfg.cfg_warm then "warm"
+                        else "cold"));
+                    ("total_wall_s", J.Float (total rows));
+                    ("components",
+                     J.List
+                       (List.map
+                          (fun (name, s, artifact) ->
+                            J.Obj
+                              [ ("name", J.Str name); ("wall_s", J.Float s);
+                                ("artifact", J.Str artifact) ])
+                          rows)) ])
+              matrix));
+        ("speedup_jobs4_vs_pre", J.Float speedup);
+        ("warm_speedup", J.Float warm_speedup);
+        ("plans_equal", J.Bool plans_equal) ]
+  in
+  let oc = open_out "BENCH_tuner.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (J.to_string ~indent:true doc));
+  Printf.printf "wrote BENCH_tuner.json\n%!"
+
+let tuner () =
+  header "Tuner & executor wall clock (serial vs jobs=4, cache cold vs warm)";
+  let matrix = tuner_matrix ~fuzz_cases:60 ~max_tile:3 ~exec_reps:20 in
+  List.iter
+    (fun (cfg, rows) ->
+      Printf.printf "%-14s" cfg.cfg_name;
+      List.iter (fun (name, s, _) -> Printf.printf "  %s %6.2fs" name s) rows;
+      Printf.printf "  | total %6.2fs\n%!" (total rows))
+    matrix;
+  let speedup, warm_speedup, plans_equal = tuner_report matrix in
+  Printf.printf "speedup jobs4-cold vs pre-PR : %.2fx\n" speedup;
+  Printf.printf "warm-cache speedup (tuning)  : %.2fx\n" warm_speedup;
+  Printf.printf "artifacts identical          : %b\n%!" plans_equal;
+  write_tuner_json matrix
+
+(* Hidden smoke variant (resolvable by name only, not part of the
+   default run): tiny scale, jobs=2, hard assertions — the `make
+   perf-smoke` gate. *)
+let tuner_smoke () =
+  header "perf smoke: jobs=2 vs pre-PR serial on a tiny workload";
+  let configs =
+    [ List.nth tuner_configs 0;
+      { cfg_name = "jobs2-cold"; cfg_jobs = 2; cfg_interp = false;
+        cfg_bypass = false; cfg_warm = false } ]
+  in
+  let matrix =
+    List.map
+      (fun cfg ->
+        let rows =
+          with_tuner_cfg cfg (fun () ->
+              List.map
+                (fun (name, f) ->
+                  let s, artifact = wall f in
+                  (name, s, artifact))
+                (tuner_components ~fuzz_cases:12 ~max_tile:2 ~exec_reps:4))
+        in
+        (cfg, rows))
+      configs
+  in
+  let pre = snd (List.nth matrix 0) in
+  let jobs2 = snd (List.nth matrix 1) in
+  let speedup = total pre /. Float.max (total jobs2) 1e-9 in
+  let equal = artifacts pre = artifacts jobs2 in
+  Printf.printf "pre-PR %6.2fs, jobs2 %6.2fs -> speedup %.2fx; identical %b\n%!"
+    (total pre) (total jobs2) speedup equal;
+  if not equal then begin
+    prerr_endline "perf-smoke FAILED: artifacts differ between serial and jobs=2";
+    exit 1
+  end;
+  if speedup < 1.0 then begin
+    Printf.eprintf "perf-smoke FAILED: speedup %.2fx < 1.0x\n" speedup;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let all_experiments =
   [ ("table1", table1); ("fig4", fig4); ("table2", table2); ("table3", table3);
     ("fission", fission); ("assign", assign); ("fig5", fig5); ("fig6", fig6);
     ("tuningcost", tuningcost); ("ablation", ablation); ("extras", extras);
-    ("v100", v100); ("bechamel", bechamel) ]
+    ("v100", v100); ("bechamel", bechamel); ("tuner", tuner) ]
+
+(* Runnable by explicit name only — not part of the default sweep. *)
+let hidden_experiments = [ ("tuner-smoke", tuner_smoke) ]
 
 let () =
   Printf.printf "ARTEMIS reproduction benchmarks — %s\n%!"
@@ -626,7 +862,7 @@ let () =
   in
   List.iter
     (fun name ->
-      match List.assoc_opt name all_experiments with
+      match List.assoc_opt name (all_experiments @ hidden_experiments) with
       | Some f -> f ()
       | None ->
         Printf.eprintf "unknown experiment %s (available: %s)\n" name

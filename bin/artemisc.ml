@@ -66,6 +66,27 @@ let report_json_arg =
        & info [ "report-json" ] ~docv:"FILE"
            ~doc:"Write the structured optimization report as JSON to $(docv)")
 
+let jobs_arg =
+  let env =
+    Cmd.Env.info "ARTEMIS_JOBS"
+      ~doc:"Worker-domain count, like $(b,--jobs); the flag wins when both are set."
+  in
+  Arg.(value & opt (some int) None
+       & info [ "j"; "jobs" ] ~docv:"N" ~env
+           ~doc:"Fan measurement out over $(docv) domains (1 = serial, the \
+                 default; 0 = one per core).  Results are bit-identical at \
+                 any setting.")
+
+let set_jobs jobs = Option.iter Artemis.Pool.set_jobs jobs
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persist measurement-cache entries under $(docv), so repeated \
+                 runs skip already-measured configurations")
+
+let set_cache_dir dir = Option.iter Artemis.Measure_cache.set_dir dir
+
 (** Write [text] to [path], closing the channel even on failure, and
     surfacing I/O errors as a cmdliner result instead of an uncaught
     [Sys_error]. *)
@@ -254,8 +275,10 @@ let optimize_cmd =
     Arg.(value & flag & info [ "iterative" ]
            ~doc:"Apply the fusion guideline for time-iterated stencils")
   in
-  let run trace path out iterative report_json =
+  let run trace jobs cache_dir path out iterative report_json =
     with_trace trace @@ fun () ->
+    set_jobs jobs;
+    set_cache_dir cache_dir;
     match read_program path with
     | `Ok prog ->
       let k = Artemis.first_kernel prog in
@@ -294,7 +317,10 @@ let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Profile, hierarchically autotune, and emit the best CUDA version")
-    Term.(ret (const run $ trace_arg $ path_arg $ out_arg $ iterative $ report_json_arg))
+    Term.(
+      ret
+        (const run $ trace_arg $ jobs_arg $ cache_dir_arg $ path_arg $ out_arg
+         $ iterative $ report_json_arg))
 
 (* ---------------- deep ---------------- *)
 
@@ -326,8 +352,10 @@ let deep_cmd =
            ~doc:"Build the fusion schedule for $(docv) iterations instead of \
                  the program's own count")
   in
-  let run trace path iterations report_json =
+  let run trace jobs cache_dir path iterations report_json =
     with_trace trace @@ fun () ->
+    set_jobs jobs;
+    set_cache_dir cache_dir;
     match read_program path with
     | `Ok prog -> (
       try
@@ -356,7 +384,10 @@ let deep_cmd =
   Cmd.v
     (Cmd.info "deep"
        ~doc:"Deep-tune an iterative ping-pong program (Section VI-A)")
-    Term.(ret (const run $ trace_arg $ path_arg $ iterations $ report_json_arg))
+    Term.(
+      ret
+        (const run $ trace_arg $ jobs_arg $ cache_dir_arg $ path_arg $ iterations
+         $ report_json_arg))
 
 (* ---------------- bench ---------------- *)
 
@@ -420,8 +451,9 @@ let fuzz_cmd =
              ~doc:"Also enforce the lint invariant: no Error-level finding on \
                    any accepted (program, plan) pair")
   in
-  let run trace seed cases dump_dir lint =
+  let run trace jobs seed cases dump_dir lint =
     with_trace trace @@ fun () ->
+    set_jobs jobs;
     let s = Artemis_verify.Harness.run ?dump_dir ~lint ~seed ~cases () in
     print_string (Artemis_verify.Harness.summary_to_string s);
     match s.findings with
@@ -437,7 +469,10 @@ let fuzz_cmd =
        ~doc:"Differential fuzzing: random programs x sampled plans, checked \
              bit-exactly against the reference executor and the analytic \
              counter model")
-    Term.(ret (const run $ trace_arg $ seed_arg $ cases_arg $ dump_arg $ lint_arg))
+    Term.(
+      ret
+        (const run $ trace_arg $ jobs_arg $ seed_arg $ cases_arg $ dump_arg
+         $ lint_arg))
 
 (* ---------------- trace-info ---------------- *)
 

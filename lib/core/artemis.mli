@@ -35,6 +35,8 @@ module Hints = Artemis_profile.Hints
 module Report = Artemis_profile.Report
 module Hierarchical = Artemis_tune.Hierarchical
 module Deep = Artemis_tune.Deep
+module Measure_cache = Artemis_tune.Measure_cache
+module Pool = Artemis_par.Pool
 module Fusion = Artemis_fuse.Fusion
 module Fission = Artemis_fuse.Fission
 module Suite = Artemis_bench.Suite

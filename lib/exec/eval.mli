@@ -1,9 +1,19 @@
 (** Expression evaluation at a domain point — shared by the reference
-    executor and the block executor so both compute identical values. *)
+    executor and the block executor so both compute identical values.
+
+    The executors evaluate through {!compile}, which resolves bindings
+    and index offsets once per statement; the point-wise interpreter
+    ({!eval}/{!guard}) remains as the differential baseline and is what
+    the compiled closures fall back to under {!use_interpreter}. *)
 
 (** Raised when an array read falls outside its grid; callers treat the
     statement as guarded off at that point. *)
 exception Out_of_bounds
+
+(** Raised (at compile time, or per point by the interpreter) on a call
+    to an intrinsic that is not in [Check.intrinsics] or has the wrong
+    arity — diagnosed ahead of execution as lint code A104. *)
+exception Unknown_intrinsic of string
 
 type env = {
   lookup_array : string -> Grid.t;  (** concrete array storage *)
@@ -15,6 +25,7 @@ type env = {
 (** Absolute coordinates of an access at a domain point. *)
 val access_coords : env -> int array -> Artemis_dsl.Ast.index list -> int array
 
+(** @raise Unknown_intrinsic on an unknown name or wrong arity. *)
 val apply_intrinsic : string -> float list -> float
 
 (** Evaluate at a point. @raise Out_of_bounds per above. *)
@@ -23,3 +34,41 @@ val eval : env -> int array -> Artemis_dsl.Ast.expr -> float
 (** All array reads of the expression are in bounds at the point — the
     guard the generated CUDA emits. *)
 val guard : env -> int array -> Artemis_dsl.Ast.expr -> bool
+
+(** {1 Compile-once lowering} *)
+
+(** When set, {!compile} and {!compile_coords} return closures backed by
+    the point-wise interpreter instead of the pre-resolved lowering —
+    the pre-compilation baseline the benchmark harness times and the
+    differential tests compare against.  Results are bit-identical
+    either way. *)
+val use_interpreter : bool ref
+
+(** Name resolution for compilation, fixed before the sweep begins:
+    [bind_temp] wins over [bind_scalar] for scalar references (temps
+    shadow scalars), and [bind_array] must already apply whatever
+    scratch/temp precedence the executor wants for array accesses. *)
+type binder = {
+  bind_array : string -> Grid.t;  (** array storage, temp grids included *)
+  bind_temp : string -> Grid.t option;  (** per-point temporaries as grids *)
+  bind_scalar : string -> float;
+  binder_iters : string list;  (** kernel iterators, outermost first *)
+}
+
+type compiled = {
+  cguard : int array -> bool;  (** all array reads in bounds at the point *)
+  cvalue : int array -> float;  (** value; may raise [Out_of_bounds] *)
+}
+
+(** Lower an expression to closures with pre-resolved bindings and
+    precomputed index offsets.  Compile once per statement per sweep;
+    the closures reuse internal coordinate buffers, so they belong to
+    one sequential sweep (each pool task compiles its own).
+    @raise Unknown_intrinsic on an unknown intrinsic or wrong arity
+    @raise Invalid_argument on unbound names or iterators *)
+val compile : binder -> Artemis_dsl.Ast.expr -> compiled
+
+(** Write-target coordinates with bindings resolved once.  The returned
+    array is a reused buffer — valid until the next call. *)
+val compile_coords :
+  binder -> Artemis_dsl.Ast.index list -> int array -> int array

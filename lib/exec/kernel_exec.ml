@@ -107,20 +107,19 @@ let run (plan : Plan.t) (store : Reference.store) ~scalars =
     | Some v -> v
     | None -> invalid_arg ("Kernel_exec: unbound scalar " ^ s)
   in
-  let env_point = ref [||] in
-  let env =
+  let binder =
     {
-      Eval.lookup_array =
+      Eval.bind_array =
         (fun a ->
           if Hashtbl.mem scratch a then Hashtbl.find scratch a
           else global_array a);
-      lookup_scalar = scalar_value;
-      lookup_temp =
+      bind_temp =
         (fun t ->
           match Hashtbl.find_opt scratch t with
-          | Some g when not (List.mem_assoc t k.arrays) -> Grid.get g !env_point
-          | Some _ | None -> raise Not_found);
-      iters = k.iters;
+          | Some g when not (List.mem_assoc t k.arrays) -> Some g
+          | Some _ | None -> None);
+      bind_scalar = scalar_value;
+      binder_iters = k.iters;
     }
   in
   (* Pre-create scratch for temps and shared intermediates so lookups during
@@ -132,49 +131,64 @@ let run (plan : Plan.t) (store : Reference.store) ~scalars =
       | A.Assign (a, _, _) | A.Accum (a, _, _) ->
         if List.mem a inter && not (inter_in_global a) then ignore (scratch_for a))
     k.body;
+  (* Compile every statement once for the whole launch — all bindings are
+     stable after the pre-create pass, and the block loop re-sweeps the
+     same closures over each tile. *)
+  let compiled_stmts =
+    List.map
+      (fun (si : Traffic.stmt_info) ->
+        let op =
+          match si.stmt with
+          | A.Decl_temp (n, e) -> `Decl (scratch_for n, Eval.compile binder e)
+          | A.Assign (a, idx, e) ->
+            let target =
+              if List.mem a finals || inter_in_global a then global_array a
+              else scratch_for a
+            in
+            `Assign
+              (target, List.mem a finals, Eval.compile_coords binder idx,
+               Eval.compile binder e)
+          | A.Accum (a, idx, e) ->
+            let target =
+              if List.mem a finals || inter_in_global a then global_array a
+              else scratch_for a
+            in
+            `Accum
+              (target, List.mem a finals, Eval.compile_coords binder idx,
+               Eval.compile binder e)
+        in
+        (si, op))
+      ctx.stmts
+  in
   let exec_block (block : int array) =
     let tile = Traffic.tile_box ctx block in
+    (* Finals are only stored by the owning block. *)
+    let owned point =
+      let rec go d =
+        d >= rank || (fst tile.(d) <= point.(d) && point.(d) <= snd tile.(d) && go (d + 1))
+      in
+      go 0
+    in
     if Traffic.box_volume tile > 0 then
       List.iter
-        (fun (si : Traffic.stmt_info) ->
+        (fun ((si : Traffic.stmt_info), op) ->
           let region = Traffic.extend_clip ctx tile si.region_ext in
           let point = Array.make rank 0 in
           let rec sweep d =
             if d = rank then begin
-              env_point := point;
-              match si.stmt with
-              | A.Decl_temp (n, e) ->
-                if Eval.guard env point e then
-                  Grid.set (scratch_for n) point (Eval.eval env point e)
-              | A.Assign (a, idx, e) ->
-                let target =
-                  if List.mem a finals || inter_in_global a then global_array a
-                  else scratch_for a
-                in
-                let w = Eval.access_coords env point idx in
-                let in_tile =
-                  (* Finals are only stored by the owning block. *)
-                  (not (List.mem a finals))
-                  || Array.for_all
-                       (fun d -> fst tile.(d) <= point.(d) && point.(d) <= snd tile.(d))
-                       (Array.init rank Fun.id)
-                in
-                if in_tile && Grid.in_bounds target w && Eval.guard env point e then
-                  Grid.set target w (Eval.eval env point e)
-              | A.Accum (a, idx, e) ->
-                let target =
-                  if List.mem a finals || inter_in_global a then global_array a
-                  else scratch_for a
-                in
-                let w = Eval.access_coords env point idx in
-                let in_tile =
-                  (not (List.mem a finals))
-                  || Array.for_all
-                       (fun d -> fst tile.(d) <= point.(d) && point.(d) <= snd tile.(d))
-                       (Array.init rank Fun.id)
-                in
-                if in_tile && Grid.in_bounds target w && Eval.guard env point e then
-                  Grid.set target w (Grid.get target w +. Eval.eval env point e)
+              match op with
+              | `Decl (g, c) ->
+                if c.Eval.cguard point then Grid.set g point (c.cvalue point)
+              | `Assign (target, is_final, coords_at, c) ->
+                let w = coords_at point in
+                let in_tile = (not is_final) || owned point in
+                if in_tile && Grid.in_bounds target w && c.Eval.cguard point then
+                  Grid.set target w (c.cvalue point)
+              | `Accum (target, is_final, coords_at, c) ->
+                let w = coords_at point in
+                let in_tile = (not is_final) || owned point in
+                if in_tile && Grid.in_bounds target w && c.Eval.cguard point then
+                  Grid.set target w (Grid.get target w +. c.cvalue point)
             end
             else begin
               let lo, hi = region.(d) in
@@ -185,7 +199,7 @@ let run (plan : Plan.t) (store : Reference.store) ~scalars =
             end
           in
           sweep 0)
-        ctx.stmts
+        compiled_stmts
   in
   (* Global intermediates: redundant halo stores mean later blocks rewrite
      the same pure values — harmless, as in the real generated code. *)

@@ -60,45 +60,45 @@ let run_kernel (store : store) ~scalars (k : I.kernel) =
     | Some v -> v
     | None -> invalid_arg ("Reference: unbound scalar " ^ s)
   in
-  let env_point = ref [||] in
-  let env =
+  let binder =
     {
-      Eval.lookup_array =
+      Eval.bind_array =
         (fun a ->
           match Hashtbl.find_opt temps a with
           | Some g -> g
           | None -> resolve_array a);
-      lookup_scalar = scalar_value;
-      lookup_temp =
-        (fun t ->
-          match Hashtbl.find_opt temps t with
-          | Some g -> Grid.get g !env_point
-          | None -> raise Not_found);
-      iters = k.iters;
+      bind_temp = (fun t -> Hashtbl.find_opt temps t);
+      bind_scalar = scalar_value;
+      binder_iters = k.iters;
     }
   in
+  (* Each statement is compiled once against the bindings in force for
+     its sweep; the temp grid is registered before compiling so the
+     visibility rules match the interpreter exactly. *)
   let run_sweep stmt =
     match stmt with
     | A.Decl_temp (name, e) ->
       let g = Grid.create k.domain in
       Hashtbl.replace temps name g;
+      let c = Eval.compile binder e in
       iter_domain k.domain (fun point ->
-          env_point := point;
-          if Eval.guard env point e then Grid.set g point (Eval.eval env point e))
+          if c.cguard point then Grid.set g point (c.cvalue point))
     | A.Assign (a, idx, e) ->
       let g = resolve_array a in
+      let coords_at = Eval.compile_coords binder idx in
+      let c = Eval.compile binder e in
       iter_domain k.domain (fun point ->
-          env_point := point;
-          let w = Eval.access_coords env point idx in
-          if Grid.in_bounds g w && Eval.guard env point e then
-            Grid.set g w (Eval.eval env point e))
+          let w = coords_at point in
+          if Grid.in_bounds g w && c.cguard point then
+            Grid.set g w (c.cvalue point))
     | A.Accum (a, idx, e) ->
       let g = resolve_array a in
+      let coords_at = Eval.compile_coords binder idx in
+      let c = Eval.compile binder e in
       iter_domain k.domain (fun point ->
-          env_point := point;
-          let w = Eval.access_coords env point idx in
-          if Grid.in_bounds g w && Eval.guard env point e then
-            Grid.set g w (Grid.get g w +. Eval.eval env point e))
+          let w = coords_at point in
+          if Grid.in_bounds g w && c.cguard point then
+            Grid.set g w (Grid.get g w +. c.cvalue point))
   in
   List.iter run_sweep k.body
 

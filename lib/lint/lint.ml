@@ -60,6 +60,9 @@ let catalog =
     ("A103", Error,
      "uninitialized read: a kernel reads an array that is neither copied in \
       nor computed by an earlier launch");
+    ("A104", Error,
+     "call to an intrinsic the backends do not implement, or with the wrong \
+      number of arguments: execution would fail at runtime");
     ("A201", Warning,
      "access outside the array's allocated extent: the emitted per-statement \
       guard silently skips those points");
@@ -237,11 +240,45 @@ let dead_statement_lints s (k : I.kernel) =
              n.id n.defines))
     g.nodes
 
+(* A104: every call must name a [Check.intrinsics] entry with matching
+   arity — the set both evaluators dispatch on.  The parser's checker
+   already rejects such programs, so this fires on hand-built or
+   transform-produced kernels, turning what would be an
+   [Eval.Unknown_intrinsic] crash mid-execution into a diagnostic. *)
+let intrinsic_lints s (k : I.kernel) =
+  let loc = "kernel " ^ k.kname in
+  let rec walk (e : A.expr) =
+    match e with
+    | A.Const _ | A.Scalar_ref _ | A.Access _ -> ()
+    | A.Neg e1 -> walk e1
+    | A.Bin (_, e1, e2) ->
+      walk e1;
+      walk e2
+    | A.Call (f, args) ->
+      (match List.assoc_opt f Artemis_dsl.Check.intrinsics with
+      | None ->
+        emit s ~code:"A104" ~severity:Error ~phase:Dsl ~location:loc
+          ~hint:"use a supported math intrinsic (sqrt, fabs, exp, log, ...)"
+          (Printf.sprintf "call to unknown intrinsic '%s'" f)
+      | Some arity when arity <> List.length args ->
+        emit s ~code:"A104" ~severity:Error ~phase:Dsl ~location:loc
+          ~hint:"pass the intrinsic's documented argument count"
+          (Printf.sprintf "intrinsic '%s' expects %d argument(s), got %d" f arity
+             (List.length args))
+      | Some _ -> ());
+      List.iter walk args
+  in
+  List.iter
+    (function
+      | A.Decl_temp (_, e) | A.Assign (_, _, e) | A.Accum (_, _, e) -> walk e)
+    k.body
+
 let lint_kernel k =
   let s = sink () in
   bounds_lints s k;
   fusion_lints s k;
   dead_statement_lints s k;
+  intrinsic_lints s k;
   drain s
 
 (* ------------------------------------------------------------------ *)

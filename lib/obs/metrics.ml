@@ -1,7 +1,23 @@
 (* Metrics registry.  Handles are mutable records registered in a global
    table keyed by (name, sorted labels); hot paths register once and pay
-   one float store per update.  [reset] zeroes values but keeps the
-   registrations, so module-level handles never dangle. *)
+   one mutex-guarded float store per update.  [reset] zeroes values but
+   keeps the registrations, so module-level handles never dangle.
+
+   A single global mutex guards both the registry and every value
+   mutation: pool workers update counters concurrently, and unsynchronized
+   read-modify-write stores would silently lose increments. *)
+
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+    Mutex.unlock lock;
+    v
+  | exception e ->
+    Mutex.unlock lock;
+    raise e
 
 type counter = { mutable c_value : float }
 type gauge = { mutable g_value : float }
@@ -26,6 +42,7 @@ let key name labels =
   { name; labels = List.sort compare labels }
 
 let register k make =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry k with
   | Some e -> e
   | None ->
@@ -39,8 +56,8 @@ let counter ?(labels = []) name =
   | Gauge _ | Histogram _ ->
     invalid_arg (Printf.sprintf "Metrics.counter: %s already registered as another type" name)
 
-let incr ?(by = 1.0) (c : counter) = c.c_value <- c.c_value +. by
-let counter_value (c : counter) = c.c_value
+let incr ?(by = 1.0) (c : counter) = locked (fun () -> c.c_value <- c.c_value +. by)
+let counter_value (c : counter) = locked (fun () -> c.c_value)
 
 let gauge ?(labels = []) name =
   match register (key name labels) (fun () -> Gauge { g_value = 0.0 }) with
@@ -48,8 +65,8 @@ let gauge ?(labels = []) name =
   | Counter _ | Histogram _ ->
     invalid_arg (Printf.sprintf "Metrics.gauge: %s already registered as another type" name)
 
-let set (g : gauge) v = g.g_value <- v
-let gauge_value (g : gauge) = g.g_value
+let set (g : gauge) v = locked (fun () -> g.g_value <- v)
+let gauge_value (g : gauge) = locked (fun () -> g.g_value)
 
 let default_buckets =
   [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0; 100.0; 1000.0 |]
@@ -71,19 +88,24 @@ let observe (h : histogram) v =
   let n = Array.length h.bounds in
   let rec find i = if i >= n || v <= h.bounds.(i) then i else find (i + 1) in
   let i = find 0 in
+  locked @@ fun () ->
   h.counts.(i) <- h.counts.(i) + 1;
   h.h_sum <- h.h_sum +. v;
   h.h_count <- h.h_count + 1
 
-let histogram_buckets (h : histogram) =
+(* Unlocked body shared with [snapshot], which already holds the lock. *)
+let buckets_unlocked (h : histogram) =
   let n = Array.length h.bounds in
   List.init (n + 1) (fun i ->
       ((if i < n then h.bounds.(i) else infinity), h.counts.(i)))
 
-let histogram_count (h : histogram) = h.h_count
-let histogram_sum (h : histogram) = h.h_sum
+let histogram_buckets (h : histogram) = locked (fun () -> buckets_unlocked h)
+
+let histogram_count (h : histogram) = locked (fun () -> h.h_count)
+let histogram_sum (h : histogram) = locked (fun () -> h.h_sum)
 
 let reset () =
+  locked @@ fun () ->
   Hashtbl.iter
     (fun _ entry ->
       match entry with
@@ -102,6 +124,7 @@ let reset () =
 let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
 
 let snapshot () =
+  locked @@ fun () ->
   let entries = Hashtbl.fold (fun k e acc -> (k, e) :: acc) registry [] in
   let entries = List.sort (fun (a, _) (b, _) -> compare a b) entries in
   let counters, gauges, histograms =
@@ -120,7 +143,7 @@ let snapshot () =
                 Json.Obj
                   [ ("le", if le = infinity then Json.Str "+Inf" else Json.Float le);
                     ("count", Json.Int count) ])
-              (histogram_buckets h)
+              (buckets_unlocked h)
           in
           ( cs, gs,
             Json.Obj

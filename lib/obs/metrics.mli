@@ -3,8 +3,10 @@
     handles (registered once at module init for hot paths); the registry
     serializes to a JSON snapshot for reports, benchmarks, and tests.
 
-    The registry is always on — updates are a float store on a handle —
-    so enabling tracing never changes which metrics exist. *)
+    The registry is always on — updates are a mutex-guarded float store
+    on a handle — so enabling tracing never changes which metrics exist.
+    All entry points are domain-safe; pool workers may update handles
+    concurrently without losing increments. *)
 
 type counter
 type gauge

@@ -1,7 +1,8 @@
-(* Span tracing.  A single global sink (the pipeline is single-threaded):
-   an enabled flag, a growing event buffer, and a span stack.  All entry
-   points bail on one boolean when disabled so instrumentation is free in
-   the common case. *)
+(* Span tracing.  A single global sink shared by every domain: an enabled
+   flag, a growing event buffer behind a mutex, and a per-domain span
+   stack (Domain.DLS) so concurrent pool workers nest independently.
+   All entry points bail on one boolean when disabled so instrumentation
+   is free in the common case. *)
 
 type value =
   | Bool of bool
@@ -15,17 +16,23 @@ type event = {
   ts_us : float;
   dur_us : float;
   depth : int;
+  tid : int;
   attrs : (string * value) list;
 }
 
 let enabled_flag = ref false
+let lock = Mutex.create ()
 let buffer : event list ref = ref []
 let count = ref 0
-let span_depth = ref 0
 let base_time = ref 0.0
 
+(* Span depth is per domain: a worker's spans nest under its own stack,
+   not the submitter's. *)
+let span_depth : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
 (* Monotonic clamp over gettimeofday: timestamps never go backwards even
-   if the wall clock is stepped mid-run. *)
+   if the wall clock is stepped mid-run.  [last_time] is only touched
+   with [lock] held. *)
 let last_time = ref 0.0
 
 let default_clock () =
@@ -40,24 +47,35 @@ let set_clock f = clock := f
 let enabled () = !enabled_flag
 
 let start () =
+  Mutex.lock lock;
   buffer := [];
   count := 0;
-  span_depth := 0;
+  Domain.DLS.get span_depth := 0;
   base_time := !clock ();
-  enabled_flag := true
+  enabled_flag := true;
+  Mutex.unlock lock
 
 let stop () = enabled_flag := false
 
+(* Call with [lock] held (the clock clamp mutates [last_time]). *)
 let now_us () = (!clock () -. !base_time) *. 1e6
 
-let record ev =
-  buffer := ev :: !buffer;
-  incr count
+let tid () = (Domain.self () :> int)
+
+let record_now ~name ~phase ~t0 ~depth ~attrs =
+  Mutex.lock lock;
+  let t1 = now_us () in
+  let ts_us, dur_us = match t0 with None -> (t1, 0.0) | Some t0 -> (t0, t1 -. t0) in
+  buffer := { name; phase; ts_us; dur_us; depth; tid = tid (); attrs } :: !buffer;
+  incr count;
+  Mutex.unlock lock;
+  dur_us
 
 let instant ?(attrs = []) name =
   if !enabled_flag then
-    record { name; phase = `Instant; ts_us = now_us (); dur_us = 0.0;
-             depth = !span_depth; attrs }
+    ignore
+      (record_now ~name ~phase:`Instant ~t0:None
+         ~depth:!(Domain.DLS.get span_depth) ~attrs)
 
 (* Span durations double as a latency histogram so phase costs show up in
    metric snapshots without opening the trace. *)
@@ -67,19 +85,29 @@ let span_seconds name =
 let with_span ?(attrs = []) name f =
   if not !enabled_flag then f ()
   else begin
-    let t0 = now_us () in
-    let depth = !span_depth in
-    incr span_depth;
+    let t0 =
+      Mutex.lock lock;
+      let t = now_us () in
+      Mutex.unlock lock;
+      t
+    in
+    let d = Domain.DLS.get span_depth in
+    let depth = !d in
+    incr d;
     let finally () =
-      decr span_depth;
-      let t1 = now_us () in
-      record { name; phase = `Span; ts_us = t0; dur_us = t1 -. t0; depth; attrs };
-      Metrics.observe (span_seconds name) ((t1 -. t0) /. 1e6)
+      decr d;
+      let dur_us = record_now ~name ~phase:`Span ~t0:(Some t0) ~depth ~attrs in
+      Metrics.observe (span_seconds name) (dur_us /. 1e6)
     in
     Fun.protect ~finally f
   end
 
-let events () = List.rev !buffer
+let events () =
+  Mutex.lock lock;
+  let evs = List.rev !buffer in
+  Mutex.unlock lock;
+  evs
+
 let event_count () = !count
 
 (* ------------------------------------------------------------------ *)
@@ -97,7 +125,7 @@ let event_to_json (e : event) =
   let base =
     [ ("name", Json.Str e.name);
       ("ph", Json.Str (match e.phase with `Span -> "X" | `Instant -> "i"));
-      ("ts", Json.Float e.ts_us); ("pid", Json.Int 1); ("tid", Json.Int 1) ]
+      ("ts", Json.Float e.ts_us); ("pid", Json.Int 1); ("tid", Json.Int e.tid) ]
   in
   let dur = match e.phase with `Span -> [ ("dur", Json.Float e.dur_us) ] | `Instant -> [] in
   let scope = match e.phase with `Instant -> [ ("s", Json.Str "t") ] | `Span -> [] in

@@ -5,7 +5,11 @@
     hot tuner loops.  When enabled, spans and instant events accumulate
     in memory with monotonic microsecond timestamps relative to
     [start ()]; [write] dumps a JSON file that opens directly in
-    [chrome://tracing] or Perfetto. *)
+    [chrome://tracing] or Perfetto.
+
+    Domain-safe: the buffer is mutex-guarded, span depth is per domain,
+    and each event carries the emitting domain's id — pool workers show
+    up as separate [tid] lanes in the Chrome export. *)
 
 type value =
   | Bool of bool
@@ -19,7 +23,8 @@ type event = {
   phase : [ `Span | `Instant ];
   ts_us : float;  (** microseconds since [start] *)
   dur_us : float;  (** span duration; 0 for instants *)
-  depth : int;  (** span-stack depth at emission *)
+  depth : int;  (** per-domain span-stack depth at emission *)
+  tid : int;  (** emitting domain's id (the Chrome export's [tid] lane) *)
   attrs : (string * value) list;
 }
 

@@ -1,0 +1,189 @@
+(* Work pool on OCaml 5 domains: a hand-rolled task queue (Mutex +
+   Condition) drained by persistent worker domains plus the submitting
+   domain itself.
+
+   Sizing: [ARTEMIS_JOBS] (or [set_jobs], the [--jobs] flag) fixes the
+   total worker count including the submitter; 0 means every core.  At
+   jobs = 1 — the default — [map] is exactly [List.map], so serial runs
+   pay nothing and behave byte-identically to the pre-pool code.
+
+   Determinism: [map] preserves input order (results land in an indexed
+   slot array, never in completion order), so callers that fold the
+   results serially get the same answer at any job count.  Exceptions
+   are re-raised with the lowest input index, matching which failure a
+   serial run would have surfaced first; unlike a serial run, later
+   elements may already have executed by then.
+
+   Nesting: a [map] issued from inside a pool task runs serially — the
+   workers are already busy with the outer map, and queueing the inner
+   tasks behind it would deadlock the submitter's drain loop. *)
+
+module Trace = Artemis_obs.Trace
+module Metrics = Artemis_obs.Metrics
+
+let m_maps = Metrics.counter "pool.maps"
+let m_tasks = Metrics.counter "pool.tasks"
+
+(* True while this domain is executing a pool task (workers always;
+   the submitting domain only while helping drain the queue). *)
+let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let resolve n = if n <= 0 then Domain.recommended_domain_count () else n
+
+let default_jobs () =
+  match Sys.getenv_opt "ARTEMIS_JOBS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> resolve n
+    | None -> 1)
+
+let jobs_ref = ref (default_jobs ())
+let jobs () = !jobs_ref
+
+(* Testing hook: lifts the core-count clamp so the queue/worker machinery
+   can be exercised on single-core hosts. *)
+let force_parallel = ref false
+
+(* Domains the pool will actually use: the configured job count clamped
+   to the core count.  Running more domains than cores is never a win —
+   OCaml's stop-the-world minor collections synchronize every running
+   domain, so oversubscription multiplies GC barrier time — so a -j 4
+   request on a single core degrades cleanly to the serial path. *)
+let parallelism () =
+  if !force_parallel then !jobs_ref
+  else min !jobs_ref (Domain.recommended_domain_count ())
+
+type pool = {
+  lock : Mutex.t;
+  nonempty : Condition.t;  (* a task was queued, or the pool is stopping *)
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let current : pool option ref = ref None
+
+let rec worker_loop (p : pool) =
+  Mutex.lock p.lock;
+  while Queue.is_empty p.queue && not p.stopping do
+    Condition.wait p.nonempty p.lock
+  done;
+  if Queue.is_empty p.queue then Mutex.unlock p.lock (* stopping, drained *)
+  else begin
+    let task = Queue.pop p.queue in
+    Mutex.unlock p.lock;
+    task ();
+    worker_loop p
+  end
+
+let shutdown () =
+  match !current with
+  | None -> ()
+  | Some p ->
+    Mutex.lock p.lock;
+    p.stopping <- true;
+    Condition.broadcast p.nonempty;
+    Mutex.unlock p.lock;
+    Array.iter Domain.join p.workers;
+    current := None
+
+let () = at_exit shutdown
+
+(* Pool of [n - 1] worker domains (the submitter is job #n). *)
+let ensure_pool n =
+  match !current with
+  | Some p when Array.length p.workers = n - 1 -> p
+  | other ->
+    if other <> None then shutdown ();
+    let p =
+      { lock = Mutex.create (); nonempty = Condition.create ();
+        queue = Queue.create (); stopping = false; workers = [||] }
+    in
+    p.workers <-
+      Array.init (n - 1) (fun _ ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set in_task true;
+              worker_loop p));
+    current := Some p;
+    p
+
+let set_jobs n =
+  jobs_ref := resolve n;
+  (* A differently-sized pool is rebuilt lazily on the next map. *)
+  match !current with
+  | Some p when Array.length p.workers <> parallelism () - 1 -> shutdown ()
+  | Some _ | None -> ()
+
+(* Run a task on the submitting domain with the nesting flag set, so
+   inner maps fall back to serial instead of deadlocking. *)
+let run_helping task =
+  let saved = Domain.DLS.get in_task in
+  Domain.DLS.set in_task true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set in_task saved) task
+
+let map ?label f xs =
+  let n_jobs = parallelism () in
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when n_jobs <= 1 || Domain.DLS.get in_task -> List.map f xs
+  | xs ->
+    Metrics.incr m_maps;
+    let items = Array.of_list xs in
+    let n = Array.length items in
+    let p = ensure_pool n_jobs in
+    let results = Array.make n None in
+    let done_lock = Mutex.create () in
+    let all_done = Condition.create () in
+    let remaining = ref n in
+    let call i =
+      match label with
+      | Some l ->
+        Trace.with_span "pool.task"
+          ~attrs:[ ("pool", Str l); ("index", Int i) ]
+          (fun () -> f items.(i))
+      | None -> f items.(i)
+    in
+    let task i () =
+      let r =
+        try Ok (call i)
+        with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      results.(i) <- Some r;
+      Metrics.incr m_tasks;
+      Mutex.lock done_lock;
+      decr remaining;
+      if !remaining = 0 then Condition.signal all_done;
+      Mutex.unlock done_lock
+    in
+    Mutex.lock p.lock;
+    for i = 0 to n - 1 do
+      Queue.add (task i) p.queue
+    done;
+    Condition.broadcast p.nonempty;
+    Mutex.unlock p.lock;
+    (* The submitter is a worker too: drain the queue, then wait for the
+       stragglers running on other domains. *)
+    let rec help () =
+      Mutex.lock p.lock;
+      if Queue.is_empty p.queue then Mutex.unlock p.lock
+      else begin
+        let task = Queue.pop p.queue in
+        Mutex.unlock p.lock;
+        run_helping task;
+        help ()
+      end
+    in
+    help ();
+    Mutex.lock done_lock;
+    while !remaining > 0 do
+      Condition.wait all_done done_lock
+    done;
+    Mutex.unlock done_lock;
+    (* Re-raise the lowest-index failure; otherwise collect in order. *)
+    List.init n (fun i ->
+        match results.(i) with
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)

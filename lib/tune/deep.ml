@@ -19,6 +19,7 @@ module Classify = Artemis_profile.Classify
 module Fusion = Artemis_fuse.Fusion
 module Trace = Artemis_obs.Trace
 module Metrics = Artemis_obs.Metrics
+module Pool = Artemis_par.Pool
 
 let m_versions = Metrics.counter "deep.versions_explored"
 
@@ -47,51 +48,100 @@ let still_bandwidth_bound prof =
     [out] from [inp]) until fusion stops paying or [max_tile] is reached.
     [plan_of] builds the base plan (scheme/placement) for a fused kernel. *)
 let explore ?(max_tile = 5) ~plan_of (k : I.kernel) ~out ~inp =
-  let rec go x acc =
-    if x > max_tile then List.rev acc
-    else begin
-      let step =
-        Trace.with_span "deep.version" ~attrs:[ ("time_tile", Int x) ] (fun () ->
-            let fused = Fusion.time_fuse k ~out ~inp ~f:x in
-            let base : Plan.t = plan_of fused in
-            let base = { base with Plan.time_tile = x } in
-            match Hierarchical.tune base with
-            | None ->
-              Trace.instant "deep.decision"
-                ~attrs:[ ("time_tile", Int x); ("decision", Str "stop");
-                         ("reason", Str "no-valid-configuration") ];
-              None
-            | Some record ->
-              Metrics.incr m_versions;
-              let prof = profile_of record.best in
-              let continue_ = still_bandwidth_bound prof in
-              (* The Section VI-A stopping rule is itself a profiling
-                 decision — record it with its evidence. *)
-              Trace.instant "deep.decision"
-                ~attrs:
-                  [ ("time_tile", Int x);
-                    ("tflops", Float record.best.tflops);
-                    ("verdict", Str (Classify.verdict_to_string prof.verdict));
-                    ("decision", Str (if continue_ then "continue" else "stop"));
-                    ("reason",
-                     Str (if continue_ then "still-bandwidth-bound"
-                          else "no-longer-bandwidth-bound")) ];
-              Some
-                ( {
-                    time_tile = x;
-                    record;
-                    profile = prof;
-                    time_per_sweep = record.best.time_s /. float_of_int x;
-                  },
-                  continue_ ))
-      in
-      match step with
-      | None -> List.rev acc
-      | Some (v, true) -> go (x + 1) (v :: acc)
-      | Some (v, false) -> List.rev (v :: acc)
-    end
+  (* Generate and tune one fused version — the heavy, pure part of each
+     step, safe to run speculatively on a pool worker. *)
+  let tune_tile x =
+    let fused = Fusion.time_fuse k ~out ~inp ~f:x in
+    let base : Plan.t = plan_of fused in
+    let base = { base with Plan.time_tile = x } in
+    match Hierarchical.tune base with
+    | None -> None
+    | Some record -> Some (record, profile_of record.best)
   in
-  let versions = Trace.with_span "deep.explore" (fun () -> go 1 []) in
+  (* Apply the Section VI-A stopping rule to a tuned version and record
+     the decision trail.  Called on the main domain in tile order for
+     exactly the tiles the serial loop would reach, so serial and
+     speculative exploration leave identical results behind. *)
+  let decide x outcome =
+    match outcome with
+    | None ->
+      Trace.instant "deep.decision"
+        ~attrs:[ ("time_tile", Int x); ("decision", Str "stop");
+                 ("reason", Str "no-valid-configuration") ];
+      None
+    | Some ((record : Hierarchical.record), prof) ->
+      Metrics.incr m_versions;
+      let continue_ = still_bandwidth_bound prof in
+      (* The Section VI-A stopping rule is itself a profiling
+         decision — record it with its evidence. *)
+      Trace.instant "deep.decision"
+        ~attrs:
+          [ ("time_tile", Int x);
+            ("tflops", Float record.best.tflops);
+            ("verdict", Str (Classify.verdict_to_string prof.verdict));
+            ("decision", Str (if continue_ then "continue" else "stop"));
+            ("reason",
+             Str (if continue_ then "still-bandwidth-bound"
+                  else "no-longer-bandwidth-bound")) ];
+      Some
+        ( {
+            time_tile = x;
+            record;
+            profile = prof;
+            time_per_sweep = record.best.time_s /. float_of_int x;
+          },
+          continue_ )
+  in
+  let serial () =
+    let rec go x acc =
+      if x > max_tile then List.rev acc
+      else begin
+        let step =
+          Trace.with_span "deep.version" ~attrs:[ ("time_tile", Int x) ] (fun () ->
+              decide x (tune_tile x))
+        in
+        match step with
+        | None -> List.rev acc
+        | Some (v, true) -> go (x + 1) (v :: acc)
+        | Some (v, false) -> List.rev (v :: acc)
+      end
+    in
+    go 1 []
+  in
+  (* With a pool available, tune every tile size speculatively — versions
+     past the stopping point are wasted work traded for wall-clock — then
+     replay the serial stopping rule over the results in tile order.
+     Decision instants, metrics, and even a worker's exception surface
+     only when the serial loop would have reached that tile. *)
+  let speculative () =
+    let outcomes =
+      Pool.map ~label:"deep.version"
+        (fun x ->
+          match
+            Trace.with_span "deep.version" ~attrs:[ ("time_tile", Int x) ] (fun () ->
+                tune_tile x)
+          with
+          | o -> Ok o
+          | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+        (List.init max_tile (fun i -> i + 1))
+    in
+    let rec replay x acc = function
+      | [] -> List.rev acc
+      | outcome :: rest -> (
+        match outcome with
+        | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Ok o -> (
+          match decide x o with
+          | None -> List.rev acc
+          | Some (v, true) -> replay (x + 1) (v :: acc) rest
+          | Some (v, false) -> List.rev (v :: acc)))
+    in
+    replay 1 [] outcomes
+  in
+  let versions =
+    Trace.with_span "deep.explore" (fun () ->
+        if Pool.parallelism () <= 1 then serial () else speculative ())
+  in
   let cusp =
     match
       List.sort (fun a b -> compare a.time_per_sweep b.time_per_sweep) versions

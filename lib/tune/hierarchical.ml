@@ -16,6 +16,7 @@ module Classify = Artemis_profile.Classify
 module Hints = Artemis_profile.Hints
 module Trace = Artemis_obs.Trace
 module Metrics = Artemis_obs.Metrics
+module Pool = Artemis_par.Pool
 
 type record = {
   best : Analytic.measurement;
@@ -37,7 +38,25 @@ let stepped (p : Plan.t) =
   | Some r -> { p with max_regs = r }
   | None -> { p with max_regs = 255 }
 
-let measure_stepped (p : Plan.t) = Analytic.try_measure (stepped p)
+let measure_stepped (p : Plan.t) = Measure_cache.try_measure (stepped p)
+
+(* The pure, side-effect-light part of considering a candidate: lint it,
+   then measure through the cache.  Safe to run on pool workers — all
+   search accounting (metrics, trace decisions, best-so-far folds) stays
+   on the main domain, applied in canonical candidate order so parallel
+   runs are bit-identical to serial ones. *)
+let measure_candidate (plan : Plan.t) =
+  let sp = stepped plan in
+  (* Error-carrying candidates are rejected before measurement.  The
+     launch lint is exactly Validate's violation set, so this prunes
+     precisely the configurations [try_measure] would refuse anyway —
+     same search result, with the rejection visible in metrics. *)
+  match Lint.launch_errors sp with
+  | (f : Lint.finding) :: _ -> `Lint_pruned f
+  | [] -> (
+    match Measure_cache.try_measure sp with
+    | Some m -> `Measured m
+    | None -> `Failed)
 
 let m_configs_measured = Metrics.counter "tuner.configs_measured"
 let m_tuner_runs = Metrics.counter "tuner.runs"
@@ -98,43 +117,43 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
           [ ("phase", Str phase); ("plan", Str (Plan.label plan));
             ("decision", Str "pruned"); ("reason", Str reason) ]
   in
-  let consider ~phase acc plan =
-    let sp = stepped plan in
-    (* Error-carrying candidates are rejected before measurement.  The
-       launch lint is exactly Validate's violation set, so this prunes
-       precisely the configurations [try_measure] would refuse anyway —
-       same search result, with the rejection visible in metrics. *)
-    match Lint.launch_errors sp with
-    | (f : Lint.finding) :: _ ->
+  let consider_result ~phase acc plan result =
+    match result with
+    | `Lint_pruned (f : Lint.finding) ->
       Metrics.incr
         (Metrics.counter "tuner.configs_lint_pruned" ~labels:[ ("code", f.code) ]);
       prune ~phase ~reason:("lint:" ^ f.code) plan;
       acc
-    | [] -> (
-      match Analytic.try_measure sp with
-      | Some m ->
-        incr explored;
-        Metrics.incr m_configs_measured;
-        if Trace.enabled () then begin
-          let kept =
-            match acc with
-            | None -> true
-            | Some (a : Analytic.measurement) -> m.tflops > a.tflops
-          in
-          let prof = Classify.classify m.plan.device m.counters ~time_s:m.time_s in
-          Trace.instant "tuner.config"
-            ~attrs:
-              [ ("phase", Str phase); ("plan", Str (Plan.label m.plan));
-                ("tflops", Float m.tflops);
-                ("verdict", Str (Classify.verdict_to_string prof.verdict));
-                ("decision", Str (if kept then "keep" else "drop")) ]
-        end;
-        if List.length !history < 64 then
-          history := (Plan.label m.plan, m.tflops) :: !history;
-        better acc m
-      | None ->
-        prune ~phase ~reason:"measurement-failed" plan;
-        acc)
+    | `Measured (m : Analytic.measurement) ->
+      incr explored;
+      Metrics.incr m_configs_measured;
+      if Trace.enabled () then begin
+        let kept =
+          match acc with
+          | None -> true
+          | Some (a : Analytic.measurement) -> m.tflops > a.tflops
+        in
+        let prof = Classify.classify m.plan.device m.counters ~time_s:m.time_s in
+        Trace.instant "tuner.config"
+          ~attrs:
+            [ ("phase", Str phase); ("plan", Str (Plan.label m.plan));
+              ("tflops", Float m.tflops);
+              ("verdict", Str (Classify.verdict_to_string prof.verdict));
+              ("decision", Str (if kept then "keep" else "drop")) ]
+      end;
+      if List.length !history < 64 then
+        history := (Plan.label m.plan, m.tflops) :: !history;
+      better acc m
+    | `Failed ->
+      prune ~phase ~reason:"measurement-failed" plan;
+      acc
+  in
+  (* Fan the measurements out, then fold the results on this domain in
+     the candidates' canonical order — same accounting, same winner, and
+     the same tie-breaking as a serial sweep. *)
+  let consider_all ~phase ~label acc plans =
+    let results = Pool.map ~label measure_candidate plans in
+    List.fold_left2 (consider_result ~phase) acc plans results
   in
   Metrics.incr m_tuner_runs;
   (* ---- phase 1: block shapes x unroll vectors ---- *)
@@ -153,12 +172,12 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
         [ ("kernel", Str base.kernel.kname);
           ("blocks", Int (List.length blocks)); ("unrolls", Int (List.length unrolls)) ]
       (fun () ->
-        List.fold_left
-          (fun acc block ->
-            List.fold_left
-              (fun acc unroll -> consider ~phase:"phase1" acc { base with block; unroll })
-              acc unrolls)
-          None blocks)
+        let candidates =
+          List.concat_map
+            (fun block -> List.map (fun unroll -> { base with block; unroll }) unrolls)
+            blocks
+        in
+        consider_all ~phase:"phase1" ~label:"tune.phase1" None candidates)
   in
   match phase1 with
   | None -> None
@@ -171,19 +190,24 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
           ("phase1_tflops", Float p1_best.tflops) ]
     @@ fun () ->
     let top =
+      (* Phase-1 already measured these (block, p1-best-unroll) points, so
+         this re-ranking is all cache hits.  The sort must be stable:
+         equal-TFLOPS blocks keep their canonical candidate order, which
+         is what makes the promoted set independent of measurement
+         completion order. *)
       let measured =
-        List.filter_map
-          (fun block ->
-            match measure_stepped { base with block; unroll = p1_best.plan.unroll } with
-            | Some m -> Some m
-            | None -> None)
-          blocks
+        List.filter_map Fun.id
+          (Pool.map ~label:"tune.top"
+             (fun block -> measure_stepped { base with block; unroll = p1_best.plan.unroll })
+             blocks)
       in
-      List.sort (fun (a : Analytic.measurement) b -> compare b.tflops a.tflops) measured
+      List.stable_sort
+        (fun (a : Analytic.measurement) b -> compare b.tflops a.tflops)
+        measured
       |> List.filteri (fun i _ -> i < knobs.top_n)
       |> List.map (fun (m : Analytic.measurement) -> m.plan)
     in
-    let refine acc (candidate : Plan.t) =
+    let variants_of (candidate : Plan.t) =
       let variants =
         let base_variants = [ candidate ] in
         let with_prefetch =
@@ -243,9 +267,12 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
         in
         with_fold
       in
-      List.fold_left (consider ~phase:"phase2") acc variants
+      variants
     in
-    let final = List.fold_left refine (Some p1_best) top in
+    let final =
+      consider_all ~phase:"phase2" ~label:"tune.phase2" (Some p1_best)
+        (List.concat_map variants_of top)
+    in
     Option.map
       (fun best ->
         {

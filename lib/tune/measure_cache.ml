@@ -1,0 +1,121 @@
+(* Content-addressed memoization of analytic measurements.
+
+   The tuner's phases re-measure the same plans many times over — phase-2
+   refinement revisits phase-1 winners, deep tuning re-tunes shared
+   prefixes at every fusion depth, and the benchmark harness replays whole
+   searches.  A measurement is a pure function of (traffic model, plan) —
+   the device is part of the plan, and the traffic model is the only other
+   global input — so we key on the canonical [Marshal] bytes of exactly
+   that pair.
+
+   [Marshal.No_sharing] makes the byte string canonical: structurally
+   equal plans serialize identically regardless of in-memory sharing, so
+   the full key string doubles as a collision-free in-memory hash key.
+   The on-disk store (enabled via [set_dir]) names files by digest but
+   verifies the stored key bytes before trusting an entry, so digest
+   collisions degrade to misses, never wrong results. *)
+
+module Plan = Artemis_ir.Plan
+module Metrics = Artemis_obs.Metrics
+module Trace = Artemis_obs.Trace
+
+let m_hits = Metrics.counter "tuner.cache_hit"
+let m_misses = Metrics.counter "tuner.cache_miss"
+
+(** Canonical content key of a measurement request: the traffic model in
+    force plus the full plan, as canonical (sharing-free) marshal bytes. *)
+let key_of (plan : Plan.t) =
+  Marshal.to_string (!Artemis_exec.Traffic.model, plan) [ Marshal.No_sharing ]
+
+let lock = Mutex.create ()
+let table : (string, Artemis_exec.Analytic.measurement option) Hashtbl.t =
+  Hashtbl.create 256
+
+let dir : string option ref = ref None
+
+(** Route entries through [d] as well as memory; creates [d] if needed. *)
+let set_dir d =
+  (try if not (Sys.file_exists d) then Sys.mkdir d 0o755 with Sys_error _ -> ());
+  dir := Some d
+
+let disk_path key =
+  Option.map (fun d -> Filename.concat d (Digest.to_hex (Digest.string key) ^ ".cache")) !dir
+
+(* Disk entries are (key, result) pairs; any read problem — missing file,
+   truncation, format drift, digest collision — is just a miss. *)
+let disk_find key =
+  match disk_path key with
+  | None -> None
+  | Some path -> (
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let stored_key, (result : Artemis_exec.Analytic.measurement option) =
+            Marshal.from_channel ic
+          in
+          if String.equal stored_key key then Some result else None)
+    with _ -> None)
+
+let disk_store key result =
+  match disk_path key with
+  | None -> ()
+  | Some path -> (
+    try
+      let tmp = path ^ ".tmp" in
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> Marshal.to_channel oc (key, result) []);
+      Sys.rename tmp path
+    with _ -> ())
+
+let record outcome =
+  (match outcome with
+  | `Hit -> Metrics.incr m_hits
+  | `Miss -> Metrics.incr m_misses);
+  if Trace.enabled () then
+    Trace.instant "tuner.cache"
+      ~attrs:
+        [ ("outcome", Trace.Str (match outcome with `Hit -> "hit" | `Miss -> "miss")) ]
+
+(* Pre-cache behavior for the benchmark harness's baseline configuration:
+   measure directly, touching neither the table nor the hit/miss metrics. *)
+let bypass = ref false
+
+(** Memoized [Analytic.try_measure].  Invalid plans cache their [None] so
+    repeated probes of the same dead configuration cost one lookup. *)
+let try_measure (plan : Plan.t) =
+  if !bypass then Artemis_exec.Analytic.try_measure plan
+  else
+  let key = key_of plan in
+  let cached =
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt table key with
+        | Some r -> Some r
+        | None -> (
+          match disk_find key with
+          | Some r ->
+            Hashtbl.replace table key r;
+            Some r
+          | None -> None))
+  in
+  match cached with
+  | Some r ->
+    record `Hit;
+    r
+  | None ->
+    record `Miss;
+    let r = Artemis_exec.Analytic.try_measure plan in
+    Mutex.protect lock (fun () ->
+        if not (Hashtbl.mem table key) then begin
+          Hashtbl.replace table key r;
+          disk_store key r
+        end);
+    r
+
+(** Drop every in-memory entry (the on-disk store is left alone). *)
+let clear () = Mutex.protect lock (fun () -> Hashtbl.reset table)
+
+let size () = Mutex.protect lock (fun () -> Hashtbl.length table)

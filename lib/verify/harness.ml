@@ -4,6 +4,7 @@ module A = Artemis_dsl.Ast
 module Pretty = Artemis_dsl.Pretty
 module Trace = Artemis_obs.Trace
 module Metrics = Artemis_obs.Metrics
+module Pool = Artemis_par.Pool
 
 let m_cases = Metrics.counter "verify.cases_generated"
 let m_plans = Metrics.counter "verify.plans_checked"
@@ -65,33 +66,22 @@ let run ?dump_dir ?(lint = false) ~seed ~cases () =
     | Oracle.Checked { mismatches = _ :: _; _ } -> true
     | Oracle.Checked { mismatches = []; _ } | Oracle.Skipped _ -> false
   in
-  let trials_run = ref 0 in
-  let trials_skipped = ref 0 in
-  let plans_checked = ref 0 in
-  let shrink_steps = ref 0 in
-  let findings = ref [] in
-  for index = 0 to cases - 1 do
+  (* One case = generate + all its trials + any shrinking: a pure function
+     of (seed, index), so whole cases fan out across the pool.  Aggregation
+     — counters, skip instants, finding dumps — happens afterwards on the
+     main domain in case order, keeping summaries and repro files identical
+     at any jobs setting. *)
+  let run_case index =
     Trace.with_span "verify.case" ~attrs:[ ("index", Int index) ] @@ fun () ->
     let case = Gen.generate ~seed ~index in
-    Metrics.incr m_cases;
     let trial_rng = Rng.make2 (seed lxor 0x5eed) index in
-    List.iter
+    List.map
       (fun trial ->
-        incr trials_run;
         match Oracle.check ~lint case.prog trial with
-        | Oracle.Skipped reason ->
-          incr trials_skipped;
-          Metrics.incr m_skipped;
-          Trace.instant "verify.skip" ~attrs:[ ("reason", Str reason) ]
-        | Oracle.Checked { plans; mismatches = [] } ->
-          plans_checked := !plans_checked + plans;
-          Metrics.incr ~by:(float_of_int plans) m_plans
+        | Oracle.Skipped reason -> `Skipped reason
+        | Oracle.Checked { plans; mismatches = [] } -> `Ok plans
         | Oracle.Checked { plans; mismatches = _ :: _ } ->
-          plans_checked := !plans_checked + plans;
-          Metrics.incr ~by:(float_of_int plans) m_plans;
-          Metrics.incr m_mismatches;
           let r = Shrink.minimize ~fails case.prog trial in
-          shrink_steps := !shrink_steps + r.steps;
           (* Report the shrunk repro's own mismatches (the shrinker only
              keeps candidates that still fail). *)
           let mismatches =
@@ -99,14 +89,41 @@ let run ?dump_dir ?(lint = false) ~seed ~cases () =
             | Oracle.Checked { mismatches = ms; _ } -> ms
             | Oracle.Skipped _ -> []
           in
-          let f =
-            { case_index = index; trial = r.trial; mismatches; prog = r.prog;
-              shrink_steps = r.steps }
-          in
-          findings := f :: !findings;
-          Option.iter (fun dir -> ignore (dump_finding ~dir ~seed f)) dump_dir)
+          `Finding
+            ( plans,
+              { case_index = index; trial = r.trial; mismatches; prog = r.prog;
+                shrink_steps = r.steps } ))
       (Sampler.trials trial_rng case)
-  done;
+  in
+  let case_results = Pool.map ~label:"verify.case" run_case (List.init cases Fun.id) in
+  let trials_run = ref 0 in
+  let trials_skipped = ref 0 in
+  let plans_checked = ref 0 in
+  let shrink_steps = ref 0 in
+  let findings = ref [] in
+  List.iter
+    (fun outcomes ->
+      Metrics.incr m_cases;
+      List.iter
+        (fun outcome ->
+          incr trials_run;
+          match outcome with
+          | `Skipped reason ->
+            incr trials_skipped;
+            Metrics.incr m_skipped;
+            Trace.instant "verify.skip" ~attrs:[ ("reason", Str reason) ]
+          | `Ok plans ->
+            plans_checked := !plans_checked + plans;
+            Metrics.incr ~by:(float_of_int plans) m_plans
+          | `Finding (plans, (f : finding)) ->
+            plans_checked := !plans_checked + plans;
+            Metrics.incr ~by:(float_of_int plans) m_plans;
+            Metrics.incr m_mismatches;
+            shrink_steps := !shrink_steps + f.shrink_steps;
+            findings := f :: !findings;
+            Option.iter (fun dir -> ignore (dump_finding ~dir ~seed f)) dump_dir)
+        outcomes)
+    case_results;
   {
     seed;
     cases;

@@ -19,6 +19,7 @@ let () =
       Test_fuse.tests;
       Test_lint.tests;
       Test_verify.tests;
+      Test_par.tests;
       Test_suite_bench.tests;
       Test_driver.tests;
       Test_extensions.tests;

@@ -55,6 +55,41 @@ let a103 =
       {|parameter L=8; iterator i; double u[L], v[L]; copyin v;
         stencil s0 (x, y) { x[i] = y[i]; } s0 (u, v); copyout u;|}
 
+(* A104 cannot be produced through [parse_string] — the checker rejects
+   unknown intrinsics at parse time — so the test hand-builds the kernel
+   a transform could produce. *)
+let a104 =
+  let module A = Artemis.Ast in
+  let module I = Artemis.Instantiate in
+  let kernel body =
+    {
+      I.kname = "handmade";
+      body;
+      iters = [ "i" ];
+      domain = [| 8 |];
+      arrays = [ ("u", [| 8 |]); ("v", [| 8 |]) ];
+      scalars = [];
+      assign = [];
+      pragma = A.empty_pragma;
+    }
+  in
+  let at shift = [ { A.iter = Some "i"; shift } ] in
+  let read shift = A.Access ("v", at shift) in
+  [ case "A104 fires on unknown intrinsic" (fun () ->
+        let k =
+          kernel [ A.Assign ("u", at 0, A.Call ("sincos", [ read 0 ])) ]
+        in
+        assert_has "A104" (Lint.lint_kernel k));
+    case "A104 fires on wrong arity" (fun () ->
+        let k = kernel [ A.Assign ("u", at 0, A.Call ("min", [ read 0 ])) ] in
+        assert_has "A104" (Lint.lint_kernel k));
+    case "A104 clean counterpart" (fun () ->
+        let k =
+          kernel
+            [ A.Assign ("u", at 0, A.Call ("min", [ read (-1); read 1 ])) ]
+        in
+        assert_not "A104" (Lint.lint_kernel k)) ]
+
 let a201 =
   prog_pair "A201"
     ~bad:
@@ -455,6 +490,6 @@ let validate_cases =
 
 let tests =
   ( "lint",
-    a103 @ a201 @ a202 @ a203 @ a301 @ a302 @ a303 @ a304 @ a305 @ a101 @ a102
+    a103 @ a104 @ a201 @ a202 @ a203 @ a301 @ a302 @ a303 @ a304 @ a305 @ a101 @ a102
     @ a401 @ a402 @ a403 @ a404 @ a405 @ a501 @ a502 @ misc @ pinned
     @ validate_cases )
