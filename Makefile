@@ -51,9 +51,12 @@ fuzz-smoke:
 
 # Host-side performance smoke test (docs/PERF.md): a tiny tuner/fuzzer
 # workload at jobs=2 must beat the pre-PR serial configuration and
-# produce byte-identical artifacts.
+# produce byte-identical artifacts, and the split-interior executor must
+# match the guarded baseline bit for bit while actually sweeping an
+# interior.
 perf-smoke:
 	dune exec bench/main.exe -- tuner-smoke
+	dune exec bench/main.exe -- exec-smoke
 
 clean:
 	dune clean

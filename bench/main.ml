@@ -842,15 +842,228 @@ let tuner_smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Executor wall clock: interpreter vs compiled vs split-interior       *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock comparison of the three executor modes over the whole
+   suite plus a fuzz-corpus replay, through both the reference executor
+   and the block executor.  The "interpreter" row is the pre-PR-4
+   baseline ([Eval.use_interpreter]), "compiled" is PR 4's compile-once
+   evaluator with splitting off, and "split" adds the interior/halo
+   decomposition with flat-index rows (docs/PERF.md).  Copyout arrays
+   must be bit-identical across all three — asserted and reported. *)
+
+type exec_mode = { em_name : string; em_interp : bool; em_split : bool }
+
+let exec_modes =
+  [ { em_name = "interpreter"; em_interp = true; em_split = false };
+    { em_name = "compiled"; em_interp = false; em_split = false };
+    { em_name = "split"; em_interp = false; em_split = true } ]
+
+let with_exec_mode m f =
+  let si = !Artemis.Eval.use_interpreter and ss = !Artemis.Eval.use_split in
+  Artemis.Eval.use_interpreter := m.em_interp;
+  Artemis.Eval.use_split := m.em_split;
+  Fun.protect
+    ~finally:(fun () ->
+      Artemis.Eval.use_interpreter := si;
+      Artemis.Eval.use_split := ss)
+    f
+
+(* Default plan with the block shape shrunk until launchable — the
+   tuner's validity filter, so heavy kernels run at bench sizes. *)
+let exec_plan_of k =
+  let p = Artemis.Lower.lower dev k O.default in
+  let rec shrink (p : Plan.t) tries =
+    if tries = 0 || Artemis.Validate.is_valid p then p
+    else begin
+      let block = Array.copy p.block in
+      let d = ref (-1) in
+      Array.iteri (fun i e -> if e > 1 && (!d < 0 || e > block.(!d)) then d := i) block;
+      if !d < 0 then p
+      else begin
+        block.(!d) <- max 1 (block.(!d) / 2);
+        shrink { p with Plan.block } (tries - 1)
+      end
+    end
+  in
+  shrink p 12
+
+(* One program end to end under the current mode: reference executor and
+   block executor wall seconds, plus the copyout grids of each. *)
+let exec_run (prog : Artemis.Ast.program) =
+  let scalars = Artemis.Reference.scalars_of_program prog in
+  let sched = I.schedule prog in
+  let copyouts store =
+    List.map
+      (fun n -> (n, Artemis_exec.Grid.copy (Artemis.Reference.find_array store n)))
+      prog.copyout
+  in
+  let ref_s, ref_out =
+    wall (fun () ->
+        let store = Artemis.Reference.store_of_program prog in
+        Artemis.Reference.run_schedule store ~scalars sched;
+        copyouts store)
+  in
+  let blk_s, blk_out =
+    wall (fun () ->
+        let store = Artemis.Reference.store_of_program prog in
+        let steps = Artemis.Runner.configure ~plan_of:exec_plan_of sched in
+        let _ = Artemis.Runner.run_schedule steps store ~scalars in
+        copyouts store)
+  in
+  (ref_s, blk_s, ref_out @ blk_out)
+
+let outputs_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (n, g) (n', g') ->
+         n = n' && Artemis_exec.Grid.max_abs_diff g g' = 0.0)
+       a b
+
+(* The per-mode matrix: suite programs then a fuzz-corpus replay through
+   the reference executor. *)
+let exec_matrix ~size ~fuzz_cases =
+  let progs =
+    List.map (fun (b : Suite.t) -> (b.name, (Suite.at_size size b).prog)) Suite.all
+  in
+  let fuzz_progs =
+    List.init fuzz_cases (fun index ->
+        (Artemis_verify.Gen.generate ~seed:23 ~index).prog)
+  in
+  List.map
+    (fun m ->
+      with_exec_mode m (fun () ->
+          let rows =
+            List.map
+              (fun (name, prog) ->
+                let ref_s, blk_s, outs = exec_run prog in
+                (name, ref_s, blk_s, outs))
+              progs
+          in
+          let fuzz_s, fuzz_outs =
+            wall (fun () ->
+                List.concat_map
+                  (fun prog ->
+                    let _, _, outs = exec_run prog in
+                    outs)
+                  fuzz_progs)
+          in
+          (m, rows, fuzz_s, fuzz_outs)))
+    exec_modes
+
+let exec_report matrix =
+  let find name =
+    List.find (fun ({ em_name; _ }, _, _, _) -> em_name = name) matrix
+  in
+  let total (_, rows, fuzz_s, _) =
+    List.fold_left (fun acc (_, r, b, _) -> acc +. r +. b) fuzz_s rows
+  in
+  let all_outs (_, rows, _, fuzz_outs) =
+    List.concat_map (fun (_, _, _, outs) -> outs) rows @ fuzz_outs
+  in
+  let interp = find "interpreter" and compiled = find "compiled" and split = find "split" in
+  let speedup_vs_compiled = total compiled /. Float.max (total split) 1e-9 in
+  let speedup_vs_interp = total interp /. Float.max (total split) 1e-9 in
+  let equal =
+    outputs_equal (all_outs split) (all_outs compiled)
+    && outputs_equal (all_outs split) (all_outs interp)
+  in
+  (speedup_vs_compiled, speedup_vs_interp, equal)
+
+let write_exec_json matrix =
+  let module J = Artemis.Json in
+  let speedup_vs_compiled, speedup_vs_interp, equal = exec_report matrix in
+  let doc =
+    J.Obj
+      [ ("schema_version", J.Int 1);
+        ("modes",
+         J.List
+           (List.map
+              (fun (m, rows, fuzz_s, _) ->
+                J.Obj
+                  [ ("name", J.Str m.em_name);
+                    ("benchmarks",
+                     J.List
+                       (List.map
+                          (fun (name, ref_s, blk_s, _) ->
+                            J.Obj
+                              [ ("name", J.Str name);
+                                ("reference_wall_s", J.Float ref_s);
+                                ("blocks_wall_s", J.Float blk_s) ])
+                          rows));
+                    ("fuzz_replay_wall_s", J.Float fuzz_s);
+                    ("total_wall_s",
+                     J.Float
+                       (List.fold_left
+                          (fun acc (_, r, b, _) -> acc +. r +. b)
+                          fuzz_s rows)) ])
+              matrix));
+        ("speedup_split_vs_compiled", J.Float speedup_vs_compiled);
+        ("speedup_split_vs_interpreter", J.Float speedup_vs_interp);
+        ("outputs_equal", J.Bool equal) ]
+  in
+  let oc = open_out "BENCH_exec.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (J.to_string ~indent:true doc));
+  Printf.printf "wrote BENCH_exec.json\n%!"
+
+let exec_bench () =
+  header "Executor wall clock: interpreter vs compiled vs split-interior";
+  let matrix = exec_matrix ~size:28 ~fuzz_cases:12 in
+  List.iter
+    (fun (m, rows, fuzz_s, _) ->
+      let r = List.fold_left (fun acc (_, r, _, _) -> acc +. r) 0.0 rows in
+      let b = List.fold_left (fun acc (_, _, b, _) -> acc +. b) 0.0 rows in
+      Printf.printf "%-12s reference %6.2fs  blocks %6.2fs  fuzz %6.2fs  | total %6.2fs\n%!"
+        m.em_name r b fuzz_s (r +. b +. fuzz_s))
+    matrix;
+  let speedup_vs_compiled, speedup_vs_interp, equal = exec_report matrix in
+  Printf.printf "speedup split vs compiled    : %.2fx\n" speedup_vs_compiled;
+  Printf.printf "speedup split vs interpreter : %.2fx\n" speedup_vs_interp;
+  Printf.printf "outputs bit-identical        : %b\n%!" equal;
+  write_exec_json matrix
+
+(* Hidden smoke variant (`make perf-smoke`): one suite program, split vs
+   compiled baseline, hard assertions on output equality and on the
+   interior actually being exercised. *)
+let exec_smoke () =
+  header "exec smoke: split vs compiled baseline on 7pt-smoother";
+  let prog = (Suite.at_size 12 (Suite.find "7pt-smoother")).prog in
+  let m_int = Artemis.Metrics.counter "exec.interior_points" in
+  let before = Artemis.Metrics.counter_value m_int in
+  let run name =
+    let m = List.find (fun m -> m.em_name = name) exec_modes in
+    with_exec_mode m (fun () ->
+        let _, _, outs = exec_run prog in
+        outs)
+  in
+  let split = run "split" and compiled = run "compiled" in
+  let equal = outputs_equal split compiled in
+  let interior = Artemis.Metrics.counter_value m_int -. before in
+  Printf.printf "outputs identical %b; interior points swept %.0f\n%!" equal interior;
+  if not equal then begin
+    prerr_endline "exec-smoke FAILED: split outputs differ from the baseline";
+    exit 1
+  end;
+  if interior <= 0.0 then begin
+    prerr_endline "exec-smoke FAILED: split path never took the interior fast path";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let all_experiments =
   [ ("table1", table1); ("fig4", fig4); ("table2", table2); ("table3", table3);
     ("fission", fission); ("assign", assign); ("fig5", fig5); ("fig6", fig6);
     ("tuningcost", tuningcost); ("ablation", ablation); ("extras", extras);
-    ("v100", v100); ("bechamel", bechamel); ("tuner", tuner) ]
+    ("v100", v100); ("bechamel", bechamel); ("tuner", tuner);
+    ("exec", exec_bench) ]
 
 (* Runnable by explicit name only — not part of the default sweep. *)
-let hidden_experiments = [ ("tuner-smoke", tuner_smoke) ]
+let hidden_experiments =
+  [ ("tuner-smoke", tuner_smoke); ("exec-smoke", exec_smoke) ]
 
 let () =
   Printf.printf "ARTEMIS reproduction benchmarks — %s\n%!"

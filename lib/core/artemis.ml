@@ -30,6 +30,8 @@ module Analytic = Artemis_exec.Analytic
 module Reference = Artemis_exec.Reference
 module Kernel_exec = Artemis_exec.Kernel_exec
 module Runner = Artemis_exec.Runner
+module Eval = Artemis_exec.Eval
+module Region = Artemis_exec.Region
 module Options = Artemis_codegen.Options
 module Lower = Artemis_codegen.Lower
 module Cuda = Artemis_codegen.Cuda_emit

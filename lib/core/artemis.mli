@@ -26,6 +26,13 @@ module Analytic = Artemis_exec.Analytic
 module Reference = Artemis_exec.Reference
 module Kernel_exec = Artemis_exec.Kernel_exec
 module Runner = Artemis_exec.Runner
+
+(** Statement compilation and its interior/halo split switches
+    ([use_split], [use_interpreter] — see docs/PERF.md). *)
+module Eval = Artemis_exec.Eval
+
+(** Iteration-space boxes and the interior/shell decomposition. *)
+module Region = Artemis_exec.Region
 module Options = Artemis_codegen.Options
 module Lower = Artemis_codegen.Lower
 module Cuda = Artemis_codegen.Cuda_emit

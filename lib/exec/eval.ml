@@ -97,6 +97,9 @@ let guard env point (e : A.expr) =
 (* ------------------------------------------------------------------ *)
 
 let use_interpreter = ref false
+let use_split = ref true
+
+let split_enabled () = !use_split && not !use_interpreter
 
 type binder = {
   bind_array : string -> Grid.t;  (** array storage, temp grids included *)
@@ -170,7 +173,23 @@ let compile_coords (b : binder) (idx : A.index list) =
   end
   else access_plan b idx
 
-let compile_value (b : binder) (e : A.expr) : int array -> float =
+(* One plan per (array, index) pair, shared between the guard and value
+   closures of a compiled statement: the guard checks bounds through the
+   same coordinate buffer the value then reads through, so each pair
+   resolves its binding and offsets exactly once. *)
+let plan_cache (b : binder) =
+  let plans : (string * A.index list, Grid.t * (int array -> int array)) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  fun a idx ->
+    match Hashtbl.find_opt plans (a, idx) with
+    | Some p -> p
+    | None ->
+      let p = (b.bind_array a, access_plan b idx) in
+      Hashtbl.replace plans (a, idx) p;
+      p
+
+let compile_value ~plan_of (b : binder) (e : A.expr) : int array -> float =
   let rec go e =
     match e with
     | A.Const f -> fun _ -> f
@@ -182,8 +201,7 @@ let compile_value (b : binder) (e : A.expr) : int array -> float =
         let v = b.bind_scalar s in
         fun _ -> v)
     | A.Access (a, idx) ->
-      let g = b.bind_array a in
-      let coords_at = access_plan b idx in
+      let g, coords_at = plan_of a idx in
       fun point ->
         let c = coords_at point in
         if Grid.in_bounds g c then Grid.get g c else raise Out_of_bounds
@@ -213,12 +231,11 @@ let compile_value (b : binder) (e : A.expr) : int array -> float =
   in
   go e
 
-let compile_guard (b : binder) (e : A.expr) : int array -> bool =
+let compile_guard ~plan_of (e : A.expr) : int array -> bool =
   let checks =
     List.map
       (fun (a, idx) ->
-        let g = b.bind_array a in
-        let coords_at = access_plan b idx in
+        let g, coords_at = plan_of a idx in
         fun point -> Grid.in_bounds g (coords_at point))
       (A.reads_of_expr e)
   in
@@ -247,4 +264,273 @@ let compile (b : binder) (e : A.expr) : compiled =
           eval env point e);
     }
   end
-  else { cguard = compile_guard b e; cvalue = compile_value b e }
+  else begin
+    let plan_of = plan_cache b in
+    { cguard = compile_guard ~plan_of e; cvalue = compile_value ~plan_of b e }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Flat-index compilation for interior sweeps                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Inside a guaranteed-in-bounds interior box every per-point check is
+   dead weight, and so is recomputing multi-dimensional coordinates: an
+   affine access moves through a grid's flat [float array] with a fixed
+   stride along the innermost iterator.  [compile_split] lowers a
+   statement to that form — per row, each access resolves to a flat base
+   offset plus [q * step]; per point, the value closures only index float
+   arrays and combine floats.  Point-invariant subexpressions (scalars,
+   constant arithmetic, accesses that do not move along the row) are
+   hoisted to row setup. *)
+
+type access_path = {
+  ap_grid : Grid.t;
+  ap_spec : (int * int) array;
+      (* per array dimension: (iteration dim, shift); dim = -1 constant *)
+  ap_step : int;  (* flat-index stride per unit of the innermost iterator *)
+  mutable ap_base : int;  (* flat index at the current row's start point *)
+}
+
+let spec_of (b : binder) (idx : A.index list) =
+  Array.of_list
+    (List.map
+       (fun (i : A.index) ->
+         match i.iter with
+         | None -> (-1, i.shift)
+         | Some it -> (iter_dim b it, i.shift))
+       idx)
+
+let access_path (b : binder) (g : Grid.t) (idx : A.index list) =
+  let spec = spec_of b idx in
+  let inner = List.length b.binder_iters - 1 in
+  let step = ref 0 in
+  Array.iteri
+    (fun d (dim, _) -> if dim = inner then step := !step + g.Grid.strides.(d))
+    spec;
+  { ap_grid = g; ap_spec = spec; ap_step = !step; ap_base = 0 }
+
+let path_bind_row (p : access_path) (point : int array) =
+  let idx = ref 0 in
+  Array.iteri
+    (fun d (dim, shift) ->
+      let c = if dim < 0 then shift else point.(dim) + shift in
+      idx := !idx + (c * p.ap_grid.Grid.strides.(d)))
+    p.ap_spec;
+  p.ap_base <- !idx
+
+(** Intersect [box] (over the iteration space) with the region where
+    every access of [paths] is in bounds.  Each array dimension
+    constrains one iteration dimension to an interval, so the in-bounds
+    set is exactly a box — the same set the statement's guard accepts.
+    A constant index outside its extent empties the box. *)
+let clip_in_bounds (paths : access_path list) (box : Region.box) : Region.box =
+  let out = Array.copy box in
+  List.iter
+    (fun p ->
+      Array.iteri
+        (fun d (dim, shift) ->
+          let n = p.ap_grid.Grid.dims.(d) in
+          if dim < 0 then begin
+            if shift < 0 || shift >= n then out.(0) <- (0, -1)
+          end
+          else begin
+            let lo, hi = out.(dim) in
+            out.(dim) <- (max lo (-shift), min hi (n - 1 - shift))
+          end)
+        p.ap_spec)
+    paths;
+  out
+
+(* Splitting reorders the sweep (shells before interior), so it is only
+   sound when each point's effects are confined to that point: the write
+   must determine the point (every iteration dimension appears in the
+   write index, so writes are injective), and any read aliasing the
+   written grid must read exactly the cell being written. *)
+let order_independent ~rank ~(target : Grid.t) ~(wspec : (int * int) array) paths =
+  let covered = Array.make rank false in
+  Array.iter (fun (dim, _) -> if dim >= 0 then covered.(dim) <- true) wspec;
+  Array.for_all Fun.id covered
+  && List.for_all
+       (fun p ->
+         (not (p.ap_grid.Grid.data == target.Grid.data)) || p.ap_spec = wspec)
+       paths
+
+type flat = {
+  fbind : int array -> unit;  (* bind a row: the row's start point *)
+  fat : int -> float;  (* value at offset q along the row *)
+}
+
+let compile_flat ?target (b : binder) (e : A.expr) : flat =
+  let inner = List.length b.binder_iters - 1 in
+  let identity_idx = List.map (fun it -> A.index ~iter:it 0) b.binder_iters in
+  let paths = ref [] in
+  let setups = ref [] in
+  let new_path g idx =
+    let p = access_path b g idx in
+    paths := p :: !paths;
+    p
+  in
+  let aliases_target (g : Grid.t) =
+    match target with Some t -> g.Grid.data == t.Grid.data | None -> false
+  in
+  (* (varies along the row, reads the written grid) of a subtree. *)
+  let rec info e =
+    match e with
+    | A.Const _ -> (false, false)
+    | A.Scalar_ref s -> (
+      match b.bind_temp s with
+      | Some g -> (true, aliases_target g)  (* identity access: step >= 1 *)
+      | None -> (false, false))
+    | A.Access (a, idx) ->
+      let g = b.bind_array a in
+      let varies =
+        List.exists
+          (fun (i : A.index) ->
+            match i.iter with
+            | Some it -> iter_dim b it = inner
+            | None -> false)
+          idx
+      in
+      (varies, aliases_target g)
+    | A.Neg e1 -> info e1
+    | A.Bin (_, e1, e2) ->
+      let v1, h1 = info e1 and v2, h2 = info e2 in
+      (v1 || v2, h1 || h2)
+    | A.Call (_, args) ->
+      List.fold_left
+        (fun (v, h) arg ->
+          let v', h' = info arg in
+          (v || v', h || h'))
+        (false, false) args
+  in
+  (* A row-invariant subtree is hoisted to row setup — computed once from
+     the same memory, so the per-point result is bit-identical.  Subtrees
+     reading the written grid stay per-point (an earlier point of the
+     sweep may have updated them). *)
+  let worth_hoisting = function
+    | A.Const _ -> false
+    | A.Scalar_ref s -> b.bind_temp s <> None
+    | A.Access _ | A.Neg _ | A.Bin _ | A.Call _ -> true
+  in
+  let rec go ~hoist e =
+    let varies, hazard = info e in
+    if hoist && (not varies) && (not hazard) && worth_hoisting e then begin
+      let at = go_raw ~hoist:false e in
+      let cache = ref 0.0 in
+      setups := (fun () -> cache := at 0) :: !setups;
+      fun _ -> !cache
+    end
+    else go_raw ~hoist e
+  and go_raw ~hoist e : int -> float =
+    match e with
+    | A.Const f -> fun _ -> f
+    | A.Scalar_ref s -> (
+      match b.bind_temp s with
+      | Some g ->
+        (* A per-point temporary is a domain-shaped grid read at the
+           point itself — an identity access, stride 1 along the row. *)
+        let p = new_path g identity_idx in
+        let data = g.Grid.data in
+        fun q -> data.(p.ap_base + q)
+      | None ->
+        let v = b.bind_scalar s in
+        fun _ -> v)
+    | A.Access (a, idx) ->
+      let g = b.bind_array a in
+      let p = new_path g idx in
+      let data = g.Grid.data in
+      let step = p.ap_step in
+      if step = 0 then fun _ -> data.(p.ap_base)
+      else if step = 1 then fun q -> data.(p.ap_base + q)
+      else fun q -> data.(p.ap_base + (q * step))
+    | A.Neg e1 ->
+      let f1 = go ~hoist e1 in
+      fun q -> -.f1 q
+    | A.Bin (op, e1, e2) -> (
+      let f1 = go ~hoist e1 and f2 = go ~hoist e2 in
+      match op with
+      | A.Add -> fun q -> f1 q +. f2 q
+      | A.Sub -> fun q -> f1 q -. f2 q
+      | A.Mul -> fun q -> f1 q *. f2 q
+      | A.Div -> fun q -> f1 q /. f2 q)
+    | A.Call (f, args) -> (
+      match (f, List.map (go ~hoist) args) with
+      | "sqrt", [ x ] -> fun q -> sqrt (x q)
+      | "fabs", [ x ] -> fun q -> Float.abs (x q)
+      | "exp", [ x ] -> fun q -> exp (x q)
+      | "log", [ x ] -> fun q -> log (x q)
+      | "sin", [ x ] -> fun q -> sin (x q)
+      | "cos", [ x ] -> fun q -> cos (x q)
+      | "min", [ x; y ] -> fun q -> Float.min (x q) (y q)
+      | "max", [ x; y ] -> fun q -> Float.max (x q) (y q)
+      | "pow", [ x; y ] -> fun q -> Float.pow (x q) (y q)
+      | "fma", [ x; y; z ] -> fun q -> Float.fma (x q) (y q) (z q)
+      | _ -> raise (Unknown_intrinsic f))
+  in
+  let fat = go ~hoist:true e in
+  let all_paths = !paths and all_setups = !setups in
+  {
+    fbind =
+      (fun point ->
+        List.iter (fun p -> path_bind_row p point) all_paths;
+        List.iter (fun s -> s ()) all_setups);
+    fat;
+  }
+
+type split_stmt = {
+  ss_write : access_path;
+  ss_expr : flat;
+  ss_paths : access_path list;  (* write + reads: the in-bounds constraints *)
+}
+
+let compile_split (b : binder) ~(target : Grid.t) (idx : A.index list)
+    (e : A.expr) : split_stmt option =
+  let rank = List.length b.binder_iters in
+  let wpath = access_path b target idx in
+  let rpaths =
+    List.map (fun (a, ridx) -> access_path b (b.bind_array a) ridx)
+      (A.reads_of_expr e)
+  in
+  if not (order_independent ~rank ~target ~wspec:wpath.ap_spec rpaths) then None
+  else
+    Some
+      {
+        ss_write = wpath;
+        ss_expr = compile_flat ~target b e;
+        ss_paths = wpath :: rpaths;
+      }
+
+let split_interior (ss : split_stmt) (region : Region.box) =
+  clip_in_bounds ss.ss_paths region
+
+let run_row_assign (ss : split_stmt) (point : int array) (n : int) =
+  ss.ss_expr.fbind point;
+  path_bind_row ss.ss_write point;
+  let data = ss.ss_write.ap_grid.Grid.data in
+  let base = ss.ss_write.ap_base and step = ss.ss_write.ap_step in
+  let fat = ss.ss_expr.fat in
+  if step = 1 then
+    for q = 0 to n - 1 do
+      data.(base + q) <- fat q
+    done
+  else
+    for q = 0 to n - 1 do
+      data.(base + (q * step)) <- fat q
+    done
+
+let run_row_accum (ss : split_stmt) (point : int array) (n : int) =
+  ss.ss_expr.fbind point;
+  path_bind_row ss.ss_write point;
+  let data = ss.ss_write.ap_grid.Grid.data in
+  let base = ss.ss_write.ap_base and step = ss.ss_write.ap_step in
+  let fat = ss.ss_expr.fat in
+  if step = 1 then
+    for q = 0 to n - 1 do
+      let w = base + q in
+      data.(w) <- data.(w) +. fat q
+    done
+  else
+    for q = 0 to n - 1 do
+      let w = base + (q * step) in
+      data.(w) <- data.(w) +. fat q
+    done

@@ -44,6 +44,17 @@ val guard : env -> int array -> Artemis_dsl.Ast.expr -> bool
     either way. *)
 val use_interpreter : bool ref
 
+(** When set (the default), the executors carve a guaranteed-in-bounds
+    interior box out of each statement's region and sweep it through
+    {!compile_split}'s flat-index rows; boundary shells keep the guarded
+    per-point path.  Clear to force the guarded path everywhere (the
+    PR-4 baseline).  Results are bit-identical either way. *)
+val use_split : bool ref
+
+(** Splitting is active: {!use_split} and not {!use_interpreter} (the
+    interpreter baseline must stay pure per-point). *)
+val split_enabled : unit -> bool
+
 (** Name resolution for compilation, fixed before the sweep begins:
     [bind_temp] wins over [bind_scalar] for scalar references (temps
     shadow scalars), and [bind_array] must already apply whatever
@@ -72,3 +83,70 @@ val compile : binder -> Artemis_dsl.Ast.expr -> compiled
     array is a reused buffer — valid until the next call. *)
 val compile_coords :
   binder -> Artemis_dsl.Ast.index list -> int array -> int array
+
+(** {1 Flat-index split compilation}
+
+    Inside a guaranteed-in-bounds interior box an affine access moves
+    through its grid's flat [float array] with a fixed stride along the
+    innermost iterator, so the interior sweeps as tight [for] loops over
+    flat offsets with zero per-point checks — see [Region] for the
+    region decomposition and docs/PERF.md for the full picture. *)
+
+(** One access lowered to flat-index form: a per-row base offset plus a
+    fixed per-point stride along the innermost iterator. *)
+type access_path = {
+  ap_grid : Grid.t;
+  ap_spec : (int * int) array;
+      (** per array dimension: [(iteration dim, shift)]; dim [-1] means a
+          constant index *)
+  ap_step : int;  (** flat-index stride per unit of the innermost iterator *)
+  mutable ap_base : int;  (** flat index at the current row's start point *)
+}
+
+val access_path : binder -> Grid.t -> Artemis_dsl.Ast.index list -> access_path
+
+(** Recompute [ap_base] for the row starting at [point]. *)
+val path_bind_row : access_path -> int array -> unit
+
+(** Intersect an iteration-space box with the region where every access
+    of [paths] is in bounds — exactly the set the statement's guard
+    accepts, which is itself a box.  A constant index outside its extent
+    empties the result. *)
+val clip_in_bounds : access_path list -> Region.box -> Region.box
+
+(** A statement lowered for split execution. *)
+type split_stmt = {
+  ss_write : access_path;
+  ss_expr : flat;
+  ss_paths : access_path list;
+      (** write plus reads — the in-bounds constraints for {!split_interior} *)
+}
+
+and flat = {
+  fbind : int array -> unit;  (** bind a row by its start point *)
+  fat : int -> float;  (** value at offset [q] along the bound row *)
+}
+
+(** Lower [target[idx] = e] (or [+=]) for split execution, or [None]
+    when splitting could reorder observable effects: the write index
+    must cover every iteration dimension (writes are then injective) and
+    any read aliasing [target]'s storage must use the write's own index.
+    Such statements stay entirely on the guarded path.
+    @raise Unknown_intrinsic / [Invalid_argument] as {!compile} *)
+val compile_split :
+  binder ->
+  target:Grid.t ->
+  Artemis_dsl.Ast.index list ->
+  Artemis_dsl.Ast.expr ->
+  split_stmt option
+
+(** The sub-box of [region] where every access of the statement is in
+    bounds (its unguarded interior). *)
+val split_interior : split_stmt -> Region.box -> Region.box
+
+(** Row bodies for [Region.sweep]'s [~row] argument: bind the row at
+    [point], then assign (or accumulate) [n] points through flat
+    indices. *)
+val run_row_assign : split_stmt -> int array -> int -> unit
+
+val run_row_accum : split_stmt -> int array -> int -> unit

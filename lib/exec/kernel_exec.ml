@@ -21,6 +21,7 @@ module Plan = Artemis_ir.Plan
 module Launch = Artemis_ir.Launch
 module Validate = Artemis_ir.Validate
 module Counters = Artemis_gpu.Counters
+module Trace = Artemis_obs.Trace
 
 exception Unsupported of string
 
@@ -133,76 +134,87 @@ let run (plan : Plan.t) (store : Reference.store) ~scalars =
     k.body;
   (* Compile every statement once for the whole launch — all bindings are
      stable after the pre-create pass, and the block loop re-sweeps the
-     same closures over each tile. *)
+     same closures over each tile.  The guarded per-point body, the
+     split lowering, and the region/point scratch buffers are all built
+     here rather than per block (the old code recomputed the clipped
+     region, allocated a fresh point array, and tested [owned] at every
+     point of every statement of every block). *)
+  let identity_idx = List.map (fun it -> A.index ~iter:it 0) k.iters in
   let compiled_stmts =
     List.map
       (fun (si : Traffic.stmt_info) ->
-        let op =
+        let target, is_final, idx, e, accum =
           match si.stmt with
-          | A.Decl_temp (n, e) -> `Decl (scratch_for n, Eval.compile binder e)
+          | A.Decl_temp (n, e) ->
+            (* A temp writes at the iteration point itself — an identity
+               index on a domain-shaped grid, never out of bounds. *)
+            (scratch_for n, false, identity_idx, e, false)
           | A.Assign (a, idx, e) ->
             let target =
               if List.mem a finals || inter_in_global a then global_array a
               else scratch_for a
             in
-            `Assign
-              (target, List.mem a finals, Eval.compile_coords binder idx,
-               Eval.compile binder e)
+            (target, List.mem a finals, idx, e, false)
           | A.Accum (a, idx, e) ->
             let target =
               if List.mem a finals || inter_in_global a then global_array a
               else scratch_for a
             in
-            `Accum
-              (target, List.mem a finals, Eval.compile_coords binder idx,
-               Eval.compile binder e)
+            (target, List.mem a finals, idx, e, true)
         in
-        (si, op))
+        let coords_at = Eval.compile_coords binder idx in
+        let c = Eval.compile binder e in
+        let guarded =
+          if accum then (fun point ->
+            let w = coords_at point in
+            if Grid.in_bounds target w && c.Eval.cguard point then
+              Grid.set target w (Grid.get target w +. c.cvalue point))
+          else fun point ->
+            let w = coords_at point in
+            if Grid.in_bounds target w && c.Eval.cguard point then
+              Grid.set target w (c.cvalue point)
+        in
+        let split =
+          if Eval.split_enabled () then
+            match Eval.compile_split binder ~target idx e with
+            | Some ss ->
+              Some
+                (ss, if accum then Eval.run_row_accum ss else Eval.run_row_assign ss)
+            | None -> None
+          else None
+        in
+        ( si, is_final, guarded, split,
+          (* per-statement scratch: swept region and point buffer *)
+          Array.make rank (0, 0), Array.make rank 0 ))
       ctx.stmts
   in
   let exec_block (block : int array) =
     let tile = Traffic.tile_box ctx block in
-    (* Finals are only stored by the owning block. *)
-    let owned point =
-      let rec go d =
-        d >= rank || (fst tile.(d) <= point.(d) && point.(d) <= snd tile.(d) && go (d + 1))
-      in
-      go 0
-    in
     if Traffic.box_volume tile > 0 then
       List.iter
-        (fun ((si : Traffic.stmt_info), op) ->
-          let region = Traffic.extend_clip ctx tile si.region_ext in
-          let point = Array.make rank 0 in
-          let rec sweep d =
-            if d = rank then begin
-              match op with
-              | `Decl (g, c) ->
-                if c.Eval.cguard point then Grid.set g point (c.cvalue point)
-              | `Assign (target, is_final, coords_at, c) ->
-                let w = coords_at point in
-                let in_tile = (not is_final) || owned point in
-                if in_tile && Grid.in_bounds target w && c.Eval.cguard point then
-                  Grid.set target w (c.cvalue point)
-              | `Accum (target, is_final, coords_at, c) ->
-                let w = coords_at point in
-                let in_tile = (not is_final) || owned point in
-                if in_tile && Grid.in_bounds target w && c.Eval.cguard point then
-                  Grid.set target w (Grid.get target w +. c.cvalue point)
-            end
-            else begin
-              let lo, hi = region.(d) in
-              for c = lo to hi do
-                point.(d) <- c;
-                sweep (d + 1)
-              done
-            end
-          in
-          sweep 0)
+        (fun ((si : Traffic.stmt_info), is_final, guarded, split, region, point) ->
+          Traffic.extend_clip_into ctx tile si.region_ext region;
+          (* Finals are only stored by the owning block: restrict the
+             swept region to the tile up front — at points outside it the
+             old per-point [owned] test made the statement a no-op. *)
+          if is_final then
+            for d = 0 to rank - 1 do
+              let lo, hi = region.(d) and tlo, thi = tile.(d) in
+              region.(d) <- (max lo tlo, min hi thi)
+            done;
+          match split with
+          | Some (ss, row) ->
+            Region.sweep ~point ~region
+              ~interior:(Eval.split_interior ss region)
+              ~guarded ~row ()
+          | None -> Region.sweep_guarded ~point ~region guarded)
         compiled_stmts
   in
   (* Global intermediates: redundant halo stores mean later blocks rewrite
      the same pure values — harmless, as in the real generated code. *)
+  Trace.with_span "exec.kernel"
+    ~attrs:[ ("kernel", Trace.Str k.kname); ("split", Trace.Bool (Eval.split_enabled ())) ]
+  @@ fun () ->
   let block = Array.make rank 0 in
   let rec launch d =
     if d = rank then exec_block (Array.copy block)

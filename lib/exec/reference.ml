@@ -11,6 +11,7 @@
 
 module A = Artemis_dsl.Ast
 module I = Artemis_dsl.Instantiate
+module Trace = Artemis_obs.Trace
 
 type store = (string, Grid.t) Hashtbl.t
 
@@ -39,6 +40,9 @@ let iter_domain domain f =
     scratch intermediates of fused kernels) are materialized locally,
     zero-initialized. *)
 let run_kernel (store : store) ~scalars (k : I.kernel) =
+  Trace.with_span "exec.reference_kernel"
+    ~attrs:[ ("kernel", Trace.Str k.kname); ("split", Trace.Bool (Eval.split_enabled ())) ]
+  @@ fun () ->
   let temps : (string, Grid.t) Hashtbl.t = Hashtbl.create 8 in
   let overlay : (string, Grid.t) Hashtbl.t = Hashtbl.create 4 in
   let resolve_array a =
@@ -74,31 +78,50 @@ let run_kernel (store : store) ~scalars (k : I.kernel) =
   in
   (* Each statement is compiled once against the bindings in force for
      its sweep; the temp grid is registered before compiling so the
-     visibility rules match the interpreter exactly. *)
+     visibility rules match the interpreter exactly.
+
+     Under [Eval.split_enabled] an order-independent statement sweeps its
+     guaranteed-in-bounds interior through flat-index rows and pays the
+     guard only on boundary shells; otherwise (and for statements
+     [compile_split] declines) the whole domain takes the guarded
+     per-point path, exactly as before. *)
+  let rank = Array.length k.domain in
+  let domain_box = Region.of_dims k.domain in
+  let point = Array.make (max rank 1) 0 in
+  let identity_idx = List.map (fun it -> A.index ~iter:it 0) k.iters in
+  let sweep_stmt ~accum target idx e =
+    let coords_at = Eval.compile_coords binder idx in
+    let c = Eval.compile binder e in
+    let guarded p =
+      let w = coords_at p in
+      if Grid.in_bounds target w && c.Eval.cguard p then
+        if accum then Grid.set target w (Grid.get target w +. c.cvalue p)
+        else Grid.set target w (c.cvalue p)
+    in
+    let split =
+      if Eval.split_enabled () then Eval.compile_split binder ~target idx e
+      else None
+    in
+    match split with
+    | Some ss ->
+      let row =
+        if accum then Eval.run_row_accum ss else Eval.run_row_assign ss
+      in
+      Region.sweep ~point ~region:domain_box
+        ~interior:(Eval.split_interior ss domain_box)
+        ~guarded ~row ()
+    | None -> Region.sweep_guarded ~point ~region:domain_box guarded
+  in
   let run_sweep stmt =
     match stmt with
     | A.Decl_temp (name, e) ->
       let g = Grid.create k.domain in
       Hashtbl.replace temps name g;
-      let c = Eval.compile binder e in
-      iter_domain k.domain (fun point ->
-          if c.cguard point then Grid.set g point (c.cvalue point))
-    | A.Assign (a, idx, e) ->
-      let g = resolve_array a in
-      let coords_at = Eval.compile_coords binder idx in
-      let c = Eval.compile binder e in
-      iter_domain k.domain (fun point ->
-          let w = coords_at point in
-          if Grid.in_bounds g w && c.cguard point then
-            Grid.set g w (c.cvalue point))
-    | A.Accum (a, idx, e) ->
-      let g = resolve_array a in
-      let coords_at = Eval.compile_coords binder idx in
-      let c = Eval.compile binder e in
-      iter_domain k.domain (fun point ->
-          let w = coords_at point in
-          if Grid.in_bounds g w && c.cguard point then
-            Grid.set g w (Grid.get g w +. c.cvalue point))
+      (* A temp writes the whole domain through an identity index — the
+         same sweep with the write trivially in bounds. *)
+      sweep_stmt ~accum:false g identity_idx e
+    | A.Assign (a, idx, e) -> sweep_stmt ~accum:false (resolve_array a) idx e
+    | A.Accum (a, idx, e) -> sweep_stmt ~accum:true (resolve_array a) idx e
   in
   List.iter run_sweep k.body
 

@@ -224,6 +224,16 @@ let extend_clip ctx (b : box) (e : An.extent) : box =
       let elo, ehi = e.(d) in
       (max 0 (lo + elo), min (ctx.geom.domain.(d) - 1) (hi + ehi)))
 
+(* In-place [extend_clip] into a caller-owned scratch box: the block
+   executor calls this once per statement per block, so it must not
+   allocate. *)
+let extend_clip_into ctx (b : box) (e : An.extent) (out : box) =
+  for d = 0 to ctx.geom.rank - 1 do
+    let lo, hi = b.(d) in
+    let elo, ehi = e.(d) in
+    out.(d) <- (max 0 (lo + elo), min (ctx.geom.domain.(d) - 1) (hi + ehi))
+  done
+
 (* Region where a statement's guard holds: reads at guard_ext must stay in
    the arrays.  Conservatively use the iteration-domain interior implied by
    the guard extents (index arithmetic on same-extent arrays). *)

@@ -61,6 +61,11 @@ val tile_box : ctx -> int array -> box
 (** Extend a box by an extent, clipping to the domain. *)
 val extend_clip : ctx -> box -> Artemis_dsl.Analysis.extent -> box
 
+(** [extend_clip] into a caller-owned scratch box — allocation-free, for
+    per-block hot paths. *)
+val extend_clip_into :
+  ctx -> box -> Artemis_dsl.Analysis.extent -> box -> unit
+
 (** {1 Accounting} *)
 
 (** Counters charged to one block. *)

@@ -11,6 +11,7 @@ let () =
       Test_gpu.tests;
       Test_ir.tests;
       Test_exec.tests;
+      Test_split.tests;
       Test_traffic.tests;
       Test_codegen.tests;
       Test_profile.tests;

@@ -1,0 +1,362 @@
+(* Interior/halo split-execution tests: the region decomposition
+   partitions exactly (randomized over ranks/extents), the in-bounds
+   interior matches the guard set, order-dependent statements fall back
+   to the guarded path, and all three executor modes — interpreter,
+   compiled baseline, split — produce bit-identical outputs on suite
+   programs, the fuzz corpus, and through the block executor. *)
+
+open Artemis_dsl
+module A = Ast
+module I = Instantiate
+module E = Artemis_exec
+module Region = Artemis_exec.Region
+module Eval = Artemis_exec.Eval
+module Rng = Artemis_verify.Rng
+module Gen = Artemis_verify.Gen
+module Metrics = Artemis_obs.Metrics
+module Suite = Artemis_bench.Suite
+
+let case name f = Alcotest.test_case name `Quick f
+let dev = Artemis_gpu.Device.p100
+
+(* ---------------- modes ---------------- *)
+
+type mode = Interp | Compiled | Split
+
+let mode_name = function
+  | Interp -> "interpreter"
+  | Compiled -> "compiled"
+  | Split -> "split"
+
+let with_mode mode f =
+  let si = !Eval.use_interpreter and ss = !Eval.use_split in
+  (match mode with
+  | Interp ->
+    Eval.use_interpreter := true;
+    Eval.use_split := false
+  | Compiled ->
+    Eval.use_interpreter := false;
+    Eval.use_split := false
+  | Split ->
+    Eval.use_interpreter := false;
+    Eval.use_split := true);
+  Fun.protect
+    ~finally:(fun () ->
+      Eval.use_interpreter := si;
+      Eval.use_split := ss)
+    f
+
+(* ---------------- partition property ---------------- *)
+
+(* Random box of the given rank; bounds may be negative, extents small
+   enough that brute-force point enumeration stays cheap. *)
+let random_box rng rank =
+  Array.init rank (fun _ ->
+      let lo = Rng.int rng 7 - 3 in
+      (lo, lo + Rng.int rng 6 - 1))
+
+(* Random sub-box of [region] (possibly empty). *)
+let random_subbox rng (region : Region.box) =
+  Array.map
+    (fun (lo, hi) ->
+      if hi < lo then (lo, hi)
+      else begin
+        let lo' = lo + Rng.int rng (hi - lo + 2) in
+        let hi' = lo' - 1 + Rng.int rng (hi - lo' + 2) in
+        (lo', hi')
+      end)
+    region
+
+let partition_trial rng =
+  let rank = 1 + Rng.int rng 4 in
+  let region = random_box rng rank in
+  let interior = random_subbox rng region in
+  let pieces = interior :: Region.split ~region ~interior in
+  (* volumes add up... *)
+  let vol = List.fold_left (fun acc b -> acc + Region.volume b) 0 pieces in
+  Alcotest.(check int) "volumes sum to the region" (Region.volume region) vol;
+  (* ...and every region point lies in exactly one piece *)
+  Region.iter_points region (fun p ->
+      let n =
+        List.fold_left
+          (fun acc b -> if Region.contains b p then acc + 1 else acc)
+          0 pieces
+      in
+      if n <> 1 then
+        Alcotest.failf "point covered %d times (rank %d)" n rank);
+  (* every piece stays inside the region *)
+  List.iter
+    (fun b ->
+      Region.iter_points b (fun p ->
+          if not (Region.contains region p) then
+            Alcotest.fail "piece escapes the region"))
+    pieces
+
+let region_tests =
+  [
+    case "interior + shells partition the region (randomized)" (fun () ->
+        let rng = Rng.make 42 in
+        for _ = 1 to 300 do
+          partition_trial rng
+        done);
+    case "empty interior yields the region as one shell" (fun () ->
+        let region = [| (0, 3); (1, 2) |] in
+        (match Region.split ~region ~interior:(Region.empty 2) with
+        | [ shell ] -> Alcotest.(check bool) "whole region" true (shell = region)
+        | l -> Alcotest.failf "expected 1 shell, got %d" (List.length l));
+        Alcotest.(check int)
+          "empty region, no pieces" 0
+          (List.length
+             (Region.split ~region:(Region.empty 2) ~interior:(Region.empty 2))));
+    case "interior = region yields no shells" (fun () ->
+        let region = [| (0, 3); (1, 2) |] in
+        Alcotest.(check int) "no shells" 0
+          (List.length (Region.split ~region ~interior:region)));
+    case "iter_rows covers the box in row-sized runs" (fun () ->
+        let rng = Rng.make 7 in
+        for _ = 1 to 100 do
+          let rank = 1 + Rng.int rng 3 in
+          let b = random_box rng rank in
+          let rows = ref 0 and pts = ref 0 in
+          Region.iter_rows b (fun p n ->
+              incr rows;
+              pts := !pts + n;
+              Alcotest.(check bool) "row start inside" true (Region.contains b p));
+          Alcotest.(check int) "points covered" (Region.volume b) !pts;
+          if Region.volume b > 0 then
+            Alcotest.(check int) "rows = volume / row length"
+              (Region.volume b
+              / (let lo, hi = b.(rank - 1) in
+                 hi - lo + 1))
+              !rows
+        done);
+  ]
+
+(* ---------------- interior = guard set ---------------- *)
+
+let mk_binder grids scalars iters =
+  {
+    Eval.bind_array = (fun a -> List.assoc a grids);
+    bind_temp = (fun _ -> None);
+    bind_scalar = (fun s -> List.assoc s scalars);
+    binder_iters = iters;
+  }
+
+let ij shift_i shift_j = [ A.index ~iter:"i" shift_i; A.index ~iter:"j" shift_j ]
+
+let interior_tests =
+  [
+    case "split interior is exactly the in-bounds box" (fun () ->
+        let u = E.Grid.create [| 12; 12 |] and v = E.Grid.create [| 12; 12 |] in
+        let b = mk_binder [ ("u", u); ("v", v) ] [] [ "i"; "j" ] in
+        let e = A.Access ("v", ij (-1) 2) in
+        let ss = Option.get (Eval.compile_split b ~target:u (ij 0 0) e) in
+        let interior = Eval.split_interior ss (Region.of_dims [| 12; 12 |]) in
+        Alcotest.(check bool) "clipped to the read's reach" true
+          (interior = [| (1, 11); (0, 9) |]));
+    case "constant index out of range empties the interior" (fun () ->
+        let u = E.Grid.create [| 12; 12 |] and v = E.Grid.create [| 12; 12 |] in
+        let b = mk_binder [ ("u", u); ("v", v) ] [] [ "i"; "j" ] in
+        let e = A.Access ("v", [ A.index 12; A.index ~iter:"j" 0 ]) in
+        let ss = Option.get (Eval.compile_split b ~target:u (ij 0 0) e) in
+        Alcotest.(check bool) "empty" true
+          (Region.is_empty (Eval.split_interior ss (Region.of_dims [| 12; 12 |]))));
+    case "flat rows equal guarded evaluation on the interior" (fun () ->
+        let rng = Rng.make 99 in
+        for _ = 1 to 50 do
+          let n0 = 4 + Rng.int rng 6 and n1 = 4 + Rng.int rng 6 in
+          let u = E.Grid.create [| n0; n1 |] and v = E.Grid.create [| n0; n1 |] in
+          E.Grid.init_pattern ~seed:1 v;
+          let b = mk_binder [ ("u", u); ("v", v) ] [ ("c", 0.5) ] [ "i"; "j" ] in
+          let s0 = Rng.int rng 5 - 2 and s1 = Rng.int rng 5 - 2 in
+          let e =
+            A.Bin
+              ( A.Add,
+                A.Bin (A.Mul, A.Scalar_ref "c", A.Access ("v", ij s0 s1)),
+                A.Access ("v", ij 0 0) )
+          in
+          let region = Region.of_dims [| n0; n1 |] in
+          let ss = Option.get (Eval.compile_split b ~target:u (ij 0 0) e) in
+          let interior = Eval.split_interior ss region in
+          Region.iter_rows interior (fun p n -> Eval.run_row_assign ss p n);
+          (* replay with the guarded compiled closures on a fresh grid *)
+          let u' = E.Grid.create [| n0; n1 |] in
+          let b' = mk_binder [ ("u", u'); ("v", v) ] [ ("c", 0.5) ] [ "i"; "j" ] in
+          let c = Eval.compile b' e in
+          Region.iter_points interior (fun p ->
+              if c.Eval.cguard p then E.Grid.set u' p (c.cvalue p));
+          Alcotest.(check (float 0.0)) "identical" 0.0 (E.Grid.max_abs_diff u u')
+        done);
+  ]
+
+(* ---------------- order-dependence fallback ---------------- *)
+
+let fallback_tests =
+  [
+    case "self-read at a different offset declines to split" (fun () ->
+        let u = E.Grid.create [| 8; 8 |] in
+        let b = mk_binder [ ("u", u) ] [] [ "i"; "j" ] in
+        Alcotest.(check bool) "None" true
+          (Eval.compile_split b ~target:u (ij 0 0) (A.Access ("u", ij 0 (-1)))
+          = None));
+    case "self-read at the written cell still splits" (fun () ->
+        let u = E.Grid.create [| 8; 8 |] in
+        let b = mk_binder [ ("u", u) ] [] [ "i"; "j" ] in
+        Alcotest.(check bool) "Some" true
+          (Eval.compile_split b ~target:u (ij 0 0) (A.Access ("u", ij 0 0))
+          <> None));
+    case "write not covering every iterator declines to split" (fun () ->
+        let u = E.Grid.create [| 8; 8 |] and v = E.Grid.create [| 8; 8 |] in
+        let b = mk_binder [ ("u", u); ("v", v) ] [] [ "i"; "j" ] in
+        let widx = [ A.index ~iter:"i" 0; A.index ~iter:"i" 0 ] in
+        Alcotest.(check bool) "None" true
+          (Eval.compile_split b ~target:u widx (A.Access ("v", ij 0 0)) = None));
+    case "gauss-seidel style self-reference matches the interpreter" (fun () ->
+        (* split declines on the statement, so the guarded path runs and
+           the lexicographic update order is preserved *)
+        let src =
+          {|parameter L=14; iterator i, j; double u[L,L]; copyin u;
+            stencil s0 (x) { x[i][j] = 0.5 * (x[i][j-1] + x[i][j]); }
+            s0 (u); copyout u;|}
+        in
+        let prog = Artemis.parse_string src in
+        let k = Artemis.first_kernel prog in
+        let scalars = E.Reference.scalars_of_program prog in
+        let run mode =
+          with_mode mode (fun () ->
+              let store = E.Reference.store_of_program prog in
+              E.Reference.run_kernel store ~scalars k;
+              E.Reference.find_array store "u")
+        in
+        Alcotest.(check (float 0.0))
+          "identical" 0.0
+          (E.Grid.max_abs_diff (run Interp) (run Split)));
+  ]
+
+(* ---------------- whole-executor bit-identity ---------------- *)
+
+(* Copyout grids after running a program's schedule through the
+   reference executor under [mode]. *)
+let reference_outputs mode (prog : A.program) =
+  with_mode mode (fun () ->
+      let store = E.Reference.store_of_program prog in
+      E.Reference.run_schedule store
+        ~scalars:(E.Reference.scalars_of_program prog)
+        (I.schedule prog);
+      List.map (fun n -> (n, E.Grid.copy (E.Reference.find_array store n)))
+        prog.copyout)
+
+(* Same through the block executor, one plan per kernel; block shapes
+   shrink until launchable, as the tuner's validity filter would. *)
+let plan_of_opts opts k =
+  let module Plan = Artemis_ir.Plan in
+  let p = Artemis_codegen.Lower.lower dev k opts in
+  let rec shrink (p : Plan.t) tries =
+    if tries = 0 || Artemis_ir.Validate.is_valid p then p
+    else begin
+      let block = Array.copy p.block in
+      let d = ref (-1) in
+      Array.iteri (fun i e -> if e > 1 && (!d < 0 || e > block.(!d)) then d := i) block;
+      if !d < 0 then p
+      else begin
+        block.(!d) <- max 1 (block.(!d) / 2);
+        shrink { p with Plan.block } (tries - 1)
+      end
+    end
+  in
+  shrink p 12
+
+let runner_outputs mode opts (prog : A.program) =
+  with_mode mode (fun () ->
+      let store = E.Reference.store_of_program prog in
+      let steps =
+        E.Runner.configure ~plan_of:(plan_of_opts opts) (I.schedule prog)
+      in
+      let _ =
+        E.Runner.run_schedule steps store
+          ~scalars:(E.Reference.scalars_of_program prog)
+      in
+      List.map (fun n -> (n, E.Grid.copy (E.Reference.find_array store n)))
+        prog.copyout)
+
+let check_identical label outs outs' =
+  List.iter2
+    (fun (n, a) (n', b) ->
+      assert (n = n');
+      let d = E.Grid.max_abs_diff a b in
+      if d > 0.0 then Alcotest.failf "%s: array %s differs by %g" label n d)
+    outs outs'
+
+let modes_identical ~outputs what =
+  let base = outputs Split in
+  List.iter
+    (fun mode ->
+      check_identical
+        (Printf.sprintf "%s: split vs %s" what (mode_name mode))
+        base (outputs mode))
+    [ Interp; Compiled ]
+
+let suite_mode_cases =
+  List.map
+    (fun bname ->
+      case (Printf.sprintf "%s: all modes bit-identical (reference)" bname)
+        (fun () ->
+          let b = Suite.at_size 12 (Suite.find bname) in
+          modes_identical bname ~outputs:(fun m -> reference_outputs m b.prog)))
+    [ "7pt-smoother"; "27pt-smoother"; "denoise"; "miniflux"; "hypterm";
+      "rhs4center"; "rhs4sgcurv" ]
+
+let kernel_exec_mode_cases =
+  let module O = Artemis_codegen.Options in
+  List.concat_map
+    (fun bname ->
+      List.map
+        (fun (pname, opts) ->
+          case
+            (Printf.sprintf "%s / %s: all modes bit-identical (blocks)" bname
+               pname)
+            (fun () ->
+              let b = Suite.at_size 12 (Suite.find bname) in
+              modes_identical
+                (bname ^ "/" ^ pname)
+                ~outputs:(fun m -> runner_outputs m opts b.prog)))
+        [ ("global tiled", O.global_tiled); ("shared stream", O.default) ])
+    [ "7pt-smoother"; "rhs4center" ]
+
+let fuzz_mode_cases =
+  [
+    case "fuzz corpus: all modes bit-identical (reference)" (fun () ->
+        for index = 0 to 7 do
+          let c = Gen.generate ~seed:11 ~index in
+          modes_identical
+            (Printf.sprintf "case %d" index)
+            ~outputs:(fun m -> reference_outputs m c.prog)
+        done);
+  ]
+
+(* ---------------- metrics ---------------- *)
+
+let metrics_tests =
+  [
+    case "split sweeps feed the interior/halo counters" (fun () ->
+        let m_int = Metrics.counter "exec.interior_points" in
+        let m_halo = Metrics.counter "exec.halo_points" in
+        let before_int = Metrics.counter_value m_int in
+        let before_halo = Metrics.counter_value m_halo in
+        let b = Suite.at_size 12 (Suite.find "7pt-smoother") in
+        ignore (reference_outputs Split b.prog);
+        Alcotest.(check bool) "interior points counted" true
+          (Metrics.counter_value m_int > before_int);
+        Alcotest.(check bool) "halo points counted" true
+          (Metrics.counter_value m_halo > before_halo);
+        (* the guarded baseline never touches the interior counter *)
+        let after_int = Metrics.counter_value m_int in
+        ignore (reference_outputs Compiled b.prog);
+        Alcotest.(check (float 0.0)) "baseline adds none" after_int
+          (Metrics.counter_value m_int));
+  ]
+
+let tests =
+  ( "split",
+    region_tests @ interior_tests @ fallback_tests @ suite_mode_cases
+    @ kernel_exec_mode_cases @ fuzz_mode_cases @ metrics_tests )
