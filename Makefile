@@ -3,7 +3,7 @@
 TRACE   := /tmp/artemis-trace.json
 REPORT  := /tmp/artemis-report.json
 
-.PHONY: all build test check bench trace-smoke lint-smoke fuzz-smoke perf-smoke clean
+.PHONY: all build test check bench trace-smoke lint-smoke fuzz-smoke perf-smoke obs-smoke clean
 
 all: build
 
@@ -22,6 +22,7 @@ check:
 	$(MAKE) lint-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) perf-smoke
+	$(MAKE) obs-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -57,6 +58,21 @@ fuzz-smoke:
 perf-smoke:
 	dune exec bench/main.exe -- tuner-smoke
 	dune exec bench/main.exe -- exec-smoke
+
+# Provenance smoke test (docs/OBSERVABILITY.md): the explain report must
+# be byte-identical at jobs=1 and jobs=4 (every tuner decision journaled
+# in canonical order, independent of pool scheduling), and the committed
+# bench baselines must pass the regression gate against themselves.
+obs-smoke:
+	dune exec bin/artemisc.exe -- explain --bench 7pt-smoother --max-tile 2 \
+	  --json -j 1 > /tmp/artemis-explain-j1.json
+	dune exec bin/artemisc.exe -- explain --bench 7pt-smoother --max-tile 2 \
+	  --json -j 4 > /tmp/artemis-explain-j4.json
+	cmp /tmp/artemis-explain-j1.json /tmp/artemis-explain-j4.json \
+	  && echo "explain deterministic across jobs"
+	dune exec bin/artemisc.exe -- bench-diff BENCH_exec.json BENCH_exec.json
+	dune exec bin/artemisc.exe -- bench-diff BENCH_tuner.json BENCH_tuner.json
+	@rm -f /tmp/artemis-explain-j1.json /tmp/artemis-explain-j4.json
 
 clean:
 	dune clean

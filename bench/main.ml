@@ -21,6 +21,24 @@ let dev = Artemis.Device.p100
 
 let header title = Printf.printf "\n=== %s ===\n%!" title
 
+(* Shared provenance block stamped into every BENCH_*.json so bench-diff
+   can refuse to compare results produced under different machine models
+   (docs/OBSERVABILITY.md). *)
+let bench_meta () =
+  let module J = Artemis.Json in
+  let tm = !Artemis_exec.Traffic.model in
+  let machine_model =
+    J.Obj
+      [ ("device", J.Str dev.Artemis.Device.name);
+        ("alpha_tflops", J.Float (dev.Artemis.Device.peak_dp_flops /. 1e12));
+        ("knee_dram", J.Float (Artemis.Device.knee_dram dev));
+        ("knee_tex", J.Float (Artemis.Device.knee_tex dev));
+        ("knee_shm", J.Float (Artemis.Device.knee_shm dev));
+        ("halo_miss", J.Float tm.Artemis_exec.Traffic.halo_miss);
+        ("l2_hit_floor", J.Float tm.Artemis_exec.Traffic.l2_hit_floor) ]
+  in
+  Artemis.Bench_diff.meta ~jobs:(Artemis.Pool.jobs ()) ~machine_model
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable results (BENCH_results.json)                        *)
 (* ------------------------------------------------------------------ *)
@@ -44,7 +62,7 @@ let write_bench_results () =
     let module J = Artemis.Json in
     let doc =
       J.Obj
-        [ ("schema_version", J.Int 1);
+        [ ("meta", bench_meta ());
           ("results",
            J.List
              (List.map
@@ -754,7 +772,7 @@ let write_tuner_json matrix =
   let speedup, warm_speedup, plans_equal = tuner_report matrix in
   let doc =
     J.Obj
-      [ ("schema_version", J.Int 1);
+      [ ("meta", bench_meta ());
         ("configs",
          J.List
            (List.map
@@ -976,7 +994,7 @@ let write_exec_json matrix =
   let speedup_vs_compiled, speedup_vs_interp, equal = exec_report matrix in
   let doc =
     J.Obj
-      [ ("schema_version", J.Int 1);
+      [ ("meta", bench_meta ());
         ("modes",
          J.List
            (List.map

@@ -8,6 +8,8 @@
      artemisc check    prog.stc     # parse + semantic check only
      artemisc lint     prog.stc     # whole-pipeline diagnostics (docs/LINT.md)
      artemisc bench <name>          # run one suite benchmark end to end
+     artemisc explain prog.stc      # plan provenance: why this plan won
+     artemisc bench-diff OLD NEW    # regression gate over bench artifacts
      artemisc fuzz --seed N         # differential fuzzing of the pipeline
      artemisc trace-info t.json     # summarize a recorded trace
 
@@ -137,6 +139,41 @@ let with_trace trace f =
            path msg;
          other))
 
+(** Read and parse a JSON artifact, surfacing problems as cmdliner
+    errors. *)
+let read_json path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> `Error (false, msg)
+  | src -> (
+    match Json.parse src with
+    | exception Json.Parse_error msg ->
+      `Error (false, Printf.sprintf "%s: invalid JSON: %s" path msg)
+    | doc -> `Ok doc)
+
+(** Distinct kernels of the schedule, first-launch order — the set lint
+    and explain iterate over. *)
+let kernels_of prog =
+  let rec collect acc = function
+    | [] -> acc
+    | Artemis.Instantiate.Launch k :: rest -> collect (k :: acc) rest
+    | Artemis.Instantiate.Exchange _ :: rest -> collect acc rest
+    | Artemis.Instantiate.Repeat (_, sub) :: rest -> collect (collect acc sub) rest
+  in
+  List.fold_left
+    (fun acc (k : Artemis.Instantiate.kernel) ->
+      if List.exists
+           (fun (k' : Artemis.Instantiate.kernel) -> k'.kname = k.kname)
+           acc
+      then acc
+      else acc @ [ k ])
+    []
+    (List.rev (collect [] (Artemis.Instantiate.schedule prog)))
+
 (* ---------------- check ---------------- *)
 
 let check_cmd =
@@ -180,24 +217,6 @@ let lint_cmd =
   let suite_arg =
     Arg.(value & flag & info [ "suite" ]
            ~doc:"Lint every Table-I suite benchmark instead of one file")
-  in
-  (* Distinct kernels of the schedule, first-launch order. *)
-  let kernels_of prog =
-    let rec collect acc = function
-      | [] -> acc
-      | Artemis.Instantiate.Launch k :: rest -> collect (k :: acc) rest
-      | Artemis.Instantiate.Exchange _ :: rest -> collect acc rest
-      | Artemis.Instantiate.Repeat (_, sub) :: rest -> collect (collect acc sub) rest
-    in
-    List.fold_left
-      (fun acc (k : Artemis.Instantiate.kernel) ->
-        if List.exists
-             (fun (k' : Artemis.Instantiate.kernel) -> k'.kname = k.kname)
-             acc
-        then acc
-        else acc @ [ k ])
-      []
-      (List.rev (collect [] (Artemis.Instantiate.schedule prog)))
   in
   let lint_one ~plan prog =
     match Artemis.Check.check_all prog with
@@ -428,6 +447,185 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the Table-I benchmarks")
     Term.(ret (const run $ trace_arg $ const ()))
 
+(* ---------------- explain ---------------- *)
+
+let explain_cmd =
+  let path_opt_arg =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"PROG.stc"
+           ~doc:"Stencil DSL program (omit with $(b,--bench))")
+  in
+  let bench_arg =
+    Arg.(value & opt (some string) None
+         & info [ "bench" ] ~docv:"NAME"
+             ~doc:"Explain a Table-I suite benchmark instead of a file \
+                   (see 'artemisc list')")
+  in
+  let plan_arg =
+    Arg.(value & flag & info [ "plan" ]
+           ~doc:"Also report the winning plan's lint findings per kernel")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the provenance report as stable JSON instead of text")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Also write the raw decision journal as JSONL to $(docv)")
+  in
+  let deep_flag =
+    Arg.(value & flag & info [ "deep" ]
+           ~doc:"Also deep-tune the program's ping-pong time loop (iterative \
+                 suite benchmarks do this automatically)")
+  in
+  let max_tile_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-tile" ] ~docv:"K"
+             ~doc:"Cap deep tuning at time tile $(docv) (default 5)")
+  in
+  (* The winning plans' lint findings ride along as a "plans" section so
+     --plan stays one deterministic document. *)
+  let add_plans doc (results : Artemis.result list) =
+    let plans =
+      List.map
+        (fun (r : Artemis.result) ->
+          Json.Obj
+            [ ("kernel", Json.Str r.kernel.kname);
+              ("plan", Json.Str (Artemis.Plan.label r.tuned.plan));
+              ( "lint",
+                Artemis.Lint.findings_to_json
+                  (Artemis.Lint.lint_plan r.tuned.plan) ) ])
+        results
+    in
+    match doc with
+    | Json.Obj fields -> Json.Obj (fields @ [ ("plans", Json.List plans) ])
+    | other -> other
+  in
+  let run trace jobs cache_dir path bench plan json journal deep max_tile =
+    with_trace trace @@ fun () ->
+    set_jobs jobs;
+    set_cache_dir cache_dir;
+    let source =
+      match (bench, path) with
+      | Some _, Some _ -> `Error (false, "give PROG.stc or --bench NAME, not both")
+      | None, None -> `Error (true, "PROG.stc required unless --bench is given")
+      | Some name, None -> (
+        match Artemis.Suite.find name with
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | b -> `Ok (b.prog, b.name, b.iterative))
+      | None, Some p -> (
+        match read_program p with
+        | `Ok prog -> `Ok (prog, p, false)
+        | `Error _ as e -> e)
+    in
+    match source with
+    | `Error _ as e -> e
+    | `Ok (prog, label, iterative) -> (
+      Artemis.Journal.start ();
+      let results =
+        List.map (fun k -> Artemis.optimize_kernel ~iterative k) (kernels_of prog)
+      in
+      (* Iterative benchmarks get the Section VI-A flow too, so the
+         journal covers the DP decision; --deep demands it and fails
+         loudly on programs with no ping-pong loop. *)
+      let deep_error =
+        if deep || iterative then
+          match Artemis.deep_tune ?max_tile prog with
+          | (_ : Artemis.deep_result) -> None
+          | exception Invalid_argument msg -> if deep then Some msg else None
+        else None
+      in
+      Artemis.Journal.stop ();
+      match deep_error with
+      | Some msg -> `Error (false, msg)
+      | None ->
+        let events = Artemis.Journal.events () in
+        (match journal with
+         | None -> `Ok ()
+         | Some jpath -> (
+           match Artemis.Journal.write jpath with
+           | () ->
+             Printf.printf "wrote %s (%d journal event(s))\n" jpath
+               (Artemis.Journal.event_count ());
+             `Ok ()
+           | exception Sys_error msg -> `Error (false, msg)))
+        >>? fun () ->
+        let report = Artemis.Provenance.report ~program:label events in
+        let report = if plan then add_plans report results else report in
+        if json then print_endline (Json.to_string ~indent:true report)
+        else begin
+          print_string (Artemis.Provenance.render report);
+          if plan then
+            List.iter
+              (fun (r : Artemis.result) ->
+                Printf.printf "\nwinning plan lint (%s):\n"
+                  r.kernel.Artemis.Instantiate.kname;
+                print_string
+                  (Artemis.Lint.report (Artemis.Lint.lint_plan r.tuned.plan)))
+              results
+        end;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Plan provenance from the decision journal: every candidate \
+             ranked (won / lost with margin / lint-pruned with code / \
+             failed), cache economics, and the winner's roofline-style \
+             traffic breakdown against the machine model")
+    Term.(
+      ret
+        (const run $ trace_arg $ jobs_arg $ cache_dir_arg $ path_opt_arg
+         $ bench_arg $ plan_arg $ json_arg $ journal_arg $ deep_flag
+         $ max_tile_arg))
+
+(* ---------------- bench-diff ---------------- *)
+
+let bench_diff_cmd =
+  let old_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json"
+           ~doc:"Baseline bench artifact (BENCH_*.json)")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW.json"
+           ~doc:"Candidate bench artifact to gate")
+  in
+  let threshold_arg =
+    Arg.(value & opt float 10.0
+         & info [ "threshold" ] ~docv:"PCT"
+             ~doc:"Allowed relative drop on higher-is-better indicators \
+                   before the gate fails (default 10)")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the comparison as stable JSON instead of a table")
+  in
+  let run old_path new_path threshold json =
+    match read_json old_path with
+    | `Error _ as e -> e
+    | `Ok old_doc -> (
+      match read_json new_path with
+      | `Error _ as e -> e
+      | `Ok new_doc ->
+        let r =
+          Artemis.Bench_diff.diff ~threshold_pct:threshold ~old_doc ~new_doc ()
+        in
+        if json then
+          print_endline (Json.to_string ~indent:true (Artemis.Bench_diff.to_json r))
+        else print_string (Artemis.Bench_diff.render r);
+        if Artemis.Bench_diff.passed r then `Ok ()
+        else
+          `Error
+            ( false,
+              Printf.sprintf "%d indicator(s) regressed past %.1f%%"
+                r.regressions threshold ))
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:"Gate a bench artifact against a baseline: compares the \
+             deterministic indicators (TFLOP/s, speedups, equality flags) \
+             and exits non-zero on regressions past the threshold")
+    Term.(ret (const run $ old_arg $ new_arg $ threshold_arg $ json_arg))
+
 (* ---------------- fuzz ---------------- *)
 
 let fuzz_cmd =
@@ -481,21 +679,87 @@ let trace_info_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.json"
            ~doc:"A trace file recorded with --trace")
   in
-  let run path =
-    let src =
-      let ic = open_in path in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the summary as stable JSON instead of a table")
+  in
+  let top_arg =
+    Arg.(value & opt int 15
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Show the $(docv) most expensive names by cumulative time \
+                   (0 = all; default 15)")
+  in
+  (* Self time: cumulative minus time spent in child spans.  Spans nest
+     per tid; sorted by (start, -duration) a span's children follow it
+     before its end, so a running stack attributes each child's duration
+     to its innermost open parent. *)
+  let self_times events =
+    let field name ev = Option.bind (Json.member name ev) Json.to_float_opt in
+    let spans tid =
+      List.filter_map
+        (fun ev ->
+          match (field "tid" ev, field "ts" ev, field "dur" ev) with
+          | Some t, Some ts, Some dur when t = tid ->
+            let name =
+              Option.bind (Json.member "name" ev) Json.to_string_opt
+              |> Option.value ~default:"?"
+            in
+            Some (name, ts, dur)
+          | _ -> None)
+        events
     in
-    match Json.parse src with
-    | exception Json.Parse_error msg ->
-      `Error (false, Printf.sprintf "%s: invalid JSON: %s" path msg)
-    | doc -> (
+    let tids =
+      List.sort_uniq compare (List.filter_map (field "tid") events)
+    in
+    let tbl : (string, float) Hashtbl.t = Hashtbl.create 16 in
+    let add name v =
+      Hashtbl.replace tbl name (v +. Option.value ~default:0.0 (Hashtbl.find_opt tbl name))
+    in
+    List.iter
+      (fun tid ->
+        let sorted =
+          List.sort
+            (fun (_, ts_a, dur_a) (_, ts_b, dur_b) ->
+              compare (ts_a, -.dur_a) (ts_b, -.dur_b))
+            (spans tid)
+        in
+        let stack = ref [] in
+        let flush_top () =
+          match !stack with
+          | (name, _, dur, child) :: rest ->
+            stack := rest;
+            add name (dur -. !child);
+            (match !stack with
+            | (_, _, _, pchild) :: _ -> pchild := !pchild +. dur
+            | [] -> ())
+          | [] -> ()
+        in
+        List.iter
+          (fun (name, ts, dur) ->
+            let rec close () =
+              match !stack with
+              | (_, finish, _, _) :: _ when finish <= ts ->
+                flush_top ();
+                close ()
+              | _ -> ()
+            in
+            close ();
+            stack := (name, ts +. dur, dur, ref 0.0) :: !stack)
+          sorted;
+        while !stack <> [] do
+          flush_top ()
+        done)
+      tids;
+    tbl
+  in
+  let run path json top =
+    match read_json path with
+    | `Error _ as e -> e
+    | `Ok doc -> (
       match Option.bind (Json.member "traceEvents" doc) Json.to_list_opt with
       | None -> `Error (false, path ^ ": not a Chrome trace (no traceEvents array)")
       | Some events ->
-        (* Total span time and event counts per name. *)
+        (* Event counts and cumulative span time per name. *)
         let tbl : (string, int * float) Hashtbl.t = Hashtbl.create 16 in
         List.iter
           (fun ev ->
@@ -510,22 +774,50 @@ let trace_info_cmd =
             let n, d = Option.value ~default:(0, 0.0) (Hashtbl.find_opt tbl name) in
             Hashtbl.replace tbl name (n + 1, d +. dur))
           events;
-        Printf.printf "%s: %d events\n" path (List.length events);
+        let self = self_times events in
         let rows = Hashtbl.fold (fun name nd acc -> (name, nd) :: acc) tbl [] in
         let rows =
-          List.sort (fun (_, (_, a)) (_, (_, b)) -> compare b a) rows
+          (* Cumulative time descending; ties by name so the table is
+             deterministic. *)
+          List.sort
+            (fun (na, (_, a)) (nb, (_, b)) -> compare (-.a, na) (-.b, nb))
+            rows
         in
-        Printf.printf "%-24s %8s %12s\n" "name" "count" "total ms";
-        List.iter
-          (fun (name, (n, dur_us)) ->
-            Printf.printf "%-24s %8d %12.3f\n" name n (dur_us /. 1e3))
-          rows;
+        let rows =
+          if top <= 0 then rows else List.filteri (fun i _ -> i < top) rows
+        in
+        let self_of name = Option.value ~default:0.0 (Hashtbl.find_opt self name) in
+        if json then
+          print_endline
+            (Json.to_string ~indent:true
+               (Json.Obj
+                  [ ("schema_version", Json.Int 1); ("file", Json.Str path);
+                    ("events", Json.Int (List.length events));
+                    ( "spans",
+                      Json.List
+                        (List.map
+                           (fun (name, (n, dur_us)) ->
+                             Json.Obj
+                               [ ("name", Json.Str name); ("count", Json.Int n);
+                                 ("cumulative_ms", Json.Float (dur_us /. 1e3));
+                                 ("self_ms", Json.Float (self_of name /. 1e3)) ])
+                           rows) ) ]))
+        else begin
+          Printf.printf "%s: %d events\n" path (List.length events);
+          Printf.printf "%-24s %8s %12s %12s\n" "name" "count" "total ms" "self ms";
+          List.iter
+            (fun (name, (n, dur_us)) ->
+              Printf.printf "%-24s %8d %12.3f %12.3f\n" name n (dur_us /. 1e3)
+                (self_of name /. 1e3))
+            rows
+        end;
         `Ok ())
   in
   Cmd.v
     (Cmd.info "trace-info"
-       ~doc:"Validate a recorded trace file and summarize its events")
-    Term.(ret (const run $ file_arg))
+       ~doc:"Validate a recorded trace file and summarize its most expensive \
+             spans (cumulative and self time, call counts)")
+    Term.(ret (const run $ file_arg $ json_arg $ top_arg))
 
 let () =
   let info =
@@ -536,4 +828,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ check_cmd; lint_cmd; compile_cmd; optimize_cmd; deep_cmd; bench_cmd;
-            list_cmd; fuzz_cmd; trace_info_cmd ]))
+            list_cmd; explain_cmd; bench_diff_cmd; fuzz_cmd; trace_info_cmd ]))

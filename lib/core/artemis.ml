@@ -51,6 +51,9 @@ module Obs = Artemis_obs
 module Trace = Artemis_obs.Trace
 module Metrics = Artemis_obs.Metrics
 module Json = Artemis_obs.Json
+module Journal = Artemis_obs.Journal
+module Provenance = Artemis_obs.Provenance
+module Bench_diff = Artemis_obs.Bench_diff
 
 let version = "1.0.0"
 
@@ -105,6 +108,13 @@ let optimize_kernel ?(device = Device.p100) ?(iterative = false)
     in
     (baseline, profile_measurement baseline)
   in
+  if Journal.enabled () then
+    Journal.append "optimize.baseline"
+      [ ("kernel", Json.Str kernel.kname);
+        ("plan", Json.Str (Plan.label baseline.plan));
+        ("tflops", Json.Float baseline.tflops);
+        ( "verdict",
+          Json.Str (Classify.verdict_to_string baseline_profile.verdict) ) ];
   (* Step 2: decisions prune the tuning space. *)
   let decisions = Hints.decide ~iterative baseline baseline_profile in
   let knobs = Hierarchical.knobs_of_decisions decisions in
@@ -153,6 +163,17 @@ let optimize_kernel ?(device = Device.p100) ?(iterative = false)
       [ Fission.trivial kernel; Fission.recompute kernel ]
     else []
   in
+  if Journal.enabled () then
+    Journal.append "optimize.result"
+      [ ("kernel", Json.Str kernel.kname);
+        ("plan", Json.Str (Plan.label tuned.plan));
+        ("tflops", Json.Float tuned.tflops);
+        ("baseline_tflops", Json.Float baseline.tflops);
+        ( "speedup",
+          Json.Float
+            (if baseline.tflops > 0.0 then tuned.tflops /. baseline.tflops
+             else 0.0) );
+        ("explored", Json.Int record.explored) ];
   {
     kernel; baseline; baseline_profile; tuned; tuned_profile; hints;
     fission_candidates; explored = record.explored; history = record.history;

@@ -54,6 +54,9 @@ module Obs = Artemis_obs
 module Trace = Artemis_obs.Trace
 module Metrics = Artemis_obs.Metrics
 module Json = Artemis_obs.Json
+module Journal = Artemis_obs.Journal
+module Provenance = Artemis_obs.Provenance
+module Bench_diff = Artemis_obs.Bench_diff
 
 val version : string
 

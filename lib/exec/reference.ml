@@ -123,7 +123,16 @@ let run_kernel (store : store) ~scalars (k : I.kernel) =
     | A.Assign (a, idx, e) -> sweep_stmt ~accum:false (resolve_array a) idx e
     | A.Accum (a, idx, e) -> sweep_stmt ~accum:true (resolve_array a) idx e
   in
-  List.iter run_sweep k.body
+  if Artemis_obs.Journal.enabled () then begin
+    let module Json = Artemis_obs.Json in
+    let (), tally = Region.with_tally (fun () -> List.iter run_sweep k.body) in
+    Artemis_obs.Journal.append "exec.split"
+      [ ("kernel", Json.Str k.kname); ("executor", Json.Str "reference");
+        ("split", Json.Bool (Eval.split_enabled ()));
+        ("interior_points", Json.Float tally.t_interior);
+        ("halo_points", Json.Float tally.t_halo) ]
+  end
+  else List.iter run_sweep k.body
 
 (** Execute a whole instantiated schedule (launches, swaps, time loops).
     Swaps exchange grid bindings, the ping-pong idiom of iterative

@@ -119,11 +119,43 @@ let iter_rows ?point (b : box) f =
 let m_interior = Metrics.counter "exec.interior_points"
 let m_halo = Metrics.counter "exec.halo_points"
 
+type tally = { mutable t_interior : float; mutable t_halo : float }
+
+(* Per-domain scoped tally: the global counters aggregate every launch
+   on every domain, so a caller wanting one launch's split (the journal's
+   exec.split events) can't diff them under parallel fuzzing.  The DLS
+   slot only sees sweeps from its own domain — exactly the launch the
+   wrapper is running. *)
+let tally_slot : tally option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let charge counter sel n =
+  Metrics.incr ~by:n counter;
+  match !(Domain.DLS.get tally_slot) with
+  | Some t -> sel t n
+  | None -> ()
+
+let charge_interior =
+  charge m_interior (fun t n -> t.t_interior <- t.t_interior +. n)
+
+let charge_halo = charge m_halo (fun t n -> t.t_halo <- t.t_halo +. n)
+
+let with_tally f =
+  let slot = Domain.DLS.get tally_slot in
+  let saved = !slot in
+  let t = { t_interior = 0.0; t_halo = 0.0 } in
+  slot := Some t;
+  Fun.protect
+    ~finally:(fun () -> slot := saved)
+    (fun () ->
+      let v = f () in
+      (v, t))
+
 (** Guarded fallback sweep over a whole region (no interior carved out),
     charged to [exec.halo_points]. *)
 let sweep_guarded ?point ~(region : box) guarded =
   iter_points ?point region guarded;
-  Metrics.incr ~by:(float_of_int (volume region)) m_halo
+  charge_halo (float_of_int (volume region))
 
 (** Sweep [region] as [interior] rows (the unguarded fast path) plus
     boundary shells on the guarded per-point path.  [interior] must be a
@@ -136,8 +168,8 @@ let sweep ?point ~(region : box) ~(interior : box) ~guarded ~row () =
     List.iter
       (fun shell ->
         iter_points ?point shell guarded;
-        Metrics.incr ~by:(float_of_int (volume shell)) m_halo)
+        charge_halo (float_of_int (volume shell)))
       (split ~region ~interior);
     iter_rows ?point interior row;
-    Metrics.incr ~by:(float_of_int (volume interior)) m_interior
+    charge_interior (float_of_int (volume interior))
   end

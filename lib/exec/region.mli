@@ -40,6 +40,18 @@ val iter_points : ?point:int array -> box -> (int array -> unit) -> unit
     the row's low bound; a reused buffer) and the row length [n]. *)
 val iter_rows : ?point:int array -> box -> (int array -> int -> unit) -> unit
 
+(** One scope's interior/halo point counts, as accumulated by
+    {!with_tally}. *)
+type tally = { mutable t_interior : float; mutable t_halo : float }
+
+(** [with_tally f] runs [f] with a fresh per-domain tally installed and
+    returns its result paired with the points the sweeps below [f]
+    charged.  Scoped to the calling domain, so concurrent launches on
+    pool workers don't bleed into each other (unlike diffing the global
+    counters); nested scopes shadow — the inner scope's points are not
+    added to the outer one. *)
+val with_tally : (unit -> 'a) -> 'a * tally
+
 (** Guarded fallback sweep over a whole region (no interior carved out),
     charged to the [exec.halo_points] counter. *)
 val sweep_guarded : ?point:int array -> region:box -> (int array -> unit) -> unit

@@ -104,6 +104,32 @@ let histogram_buckets (h : histogram) = locked (fun () -> buckets_unlocked h)
 let histogram_count (h : histogram) = locked (fun () -> h.h_count)
 let histogram_sum (h : histogram) = locked (fun () -> h.h_sum)
 
+(* Unlocked body shared with [snapshot].  Linear interpolation within
+   the bucket holding the target rank; the +Inf bucket clamps to the
+   highest finite bound (there is nothing to interpolate toward). *)
+let quantile_unlocked (h : histogram) q =
+  let n = Array.length h.bounds in
+  if h.h_count = 0 || n = 0 then None
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = q *. float_of_int h.h_count in
+    let rec go i cum =
+      if i >= n then Some h.bounds.(n - 1)
+      else
+        let c = h.counts.(i) in
+        let cum' = cum +. float_of_int c in
+        if cum' >= target && c > 0 then begin
+          let lo = if i = 0 then Float.min 0.0 h.bounds.(0) else h.bounds.(i - 1) in
+          let hi = h.bounds.(i) in
+          Some (lo +. ((hi -. lo) *. (target -. cum) /. float_of_int c))
+        end
+        else go (i + 1) cum'
+    in
+    go 0 0.0
+  end
+
+let histogram_quantile (h : histogram) q = locked (fun () -> quantile_unlocked h q)
+
 let reset () =
   locked @@ fun () ->
   Hashtbl.iter
@@ -145,11 +171,17 @@ let snapshot () =
                     ("count", Json.Int count) ])
               (buckets_unlocked h)
           in
+          let quantile q =
+            match quantile_unlocked h q with
+            | Some v -> Json.Float v
+            | None -> Json.Null
+          in
           ( cs, gs,
             Json.Obj
               (base
               @ [ ("buckets", Json.List buckets); ("sum", Json.Float h.h_sum);
-                  ("count", Json.Int h.h_count) ])
+                  ("count", Json.Int h.h_count); ("p50", quantile 0.5);
+                  ("p99", quantile 0.99) ])
             :: hs ))
       ([], [], []) entries
   in

@@ -38,6 +38,14 @@ val histogram_buckets : histogram -> (float * int) list
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
+(** [histogram_quantile h q] estimates the [q]-quantile ([q] clamped to
+    [0, 1]) by linear interpolation within the bucket holding the target
+    rank — Prometheus [histogram_quantile] semantics, with the first
+    bucket's lower edge taken as 0 (or its bound, if negative).  Ranks
+    landing in the +Inf bucket clamp to the highest finite bound.
+    [None] when the histogram is empty or has no finite bounds. *)
+val histogram_quantile : histogram -> float -> float option
+
 (** Zero every registered value (counts, sums, gauges).  Registrations —
     and therefore handles held by instrumented modules — stay valid. *)
 val reset : unit -> unit

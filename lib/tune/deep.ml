@@ -19,6 +19,8 @@ module Classify = Artemis_profile.Classify
 module Fusion = Artemis_fuse.Fusion
 module Trace = Artemis_obs.Trace
 module Metrics = Artemis_obs.Metrics
+module Journal = Artemis_obs.Journal
+module Json = Artemis_obs.Json
 module Pool = Artemis_par.Pool
 
 let m_versions = Metrics.counter "deep.versions_explored"
@@ -49,25 +51,35 @@ let still_bandwidth_bound prof =
     [plan_of] builds the base plan (scheme/placement) for a fused kernel. *)
 let explore ?(max_tile = 5) ~plan_of (k : I.kernel) ~out ~inp =
   (* Generate and tune one fused version — the heavy, pure part of each
-     step, safe to run speculatively on a pool worker. *)
+     step, safe to run speculatively on a pool worker.  The tuner's own
+     journal events are captured alongside the outcome so [decide] can
+     replay them in tile order on the main domain: a speculative run
+     journals byte-identically to a serial one, and tiles past the
+     stopping point leave no events at all. *)
   let tune_tile x =
-    let fused = Fusion.time_fuse k ~out ~inp ~f:x in
-    let base : Plan.t = plan_of fused in
-    let base = { base with Plan.time_tile = x } in
-    match Hierarchical.tune base with
-    | None -> None
-    | Some record -> Some (record, profile_of record.best)
+    Journal.capture (fun () ->
+        let fused = Fusion.time_fuse k ~out ~inp ~f:x in
+        let base : Plan.t = plan_of fused in
+        let base = { base with Plan.time_tile = x } in
+        match Hierarchical.tune base with
+        | None -> None
+        | Some record -> Some (record, profile_of record.best))
   in
   (* Apply the Section VI-A stopping rule to a tuned version and record
      the decision trail.  Called on the main domain in tile order for
      exactly the tiles the serial loop would reach, so serial and
      speculative exploration leave identical results behind. *)
-  let decide x outcome =
+  let decide x (outcome, entries) =
+    Journal.replay entries;
     match outcome with
     | None ->
       Trace.instant "deep.decision"
         ~attrs:[ ("time_tile", Int x); ("decision", Str "stop");
                  ("reason", Str "no-valid-configuration") ];
+      if Journal.enabled () then
+        Journal.append "deep.version"
+          [ ("time_tile", Json.Int x); ("decision", Json.Str "stop");
+            ("reason", Json.Str "no-valid-configuration") ];
       None
     | Some ((record : Hierarchical.record), prof) ->
       Metrics.incr m_versions;
@@ -83,6 +95,21 @@ let explore ?(max_tile = 5) ~plan_of (k : I.kernel) ~out ~inp =
             ("reason",
              Str (if continue_ then "still-bandwidth-bound"
                   else "no-longer-bandwidth-bound")) ];
+      if Journal.enabled () then
+        Journal.append "deep.version"
+          [ ("time_tile", Json.Int x);
+            ("plan", Json.Str (Plan.label record.best.plan));
+            ("tflops", Json.Float record.best.tflops);
+            ("time_s", Json.Float record.best.time_s);
+            ( "time_per_sweep",
+              Json.Float (record.best.time_s /. float_of_int x) );
+            ("explored", Json.Int record.explored);
+            ("verdict", Json.Str (Classify.verdict_to_string prof.verdict));
+            ("decision", Json.Str (if continue_ then "continue" else "stop"));
+            ( "reason",
+              Json.Str
+                (if continue_ then "still-bandwidth-bound"
+                 else "no-longer-bandwidth-bound") ) ];
       Some
         ( {
             time_tile = x;
@@ -162,6 +189,10 @@ let explore ?(max_tile = 5) ~plan_of (k : I.kernel) ~out ~inp =
     in
     find versions
   in
+  if Journal.enabled () then
+    Journal.append "deep.result"
+      [ ("versions", Json.Int (List.length versions)); ("cusp", Json.Int cusp);
+        ("tipping_point", Json.Int tipping_point) ];
   { versions; cusp; tipping_point }
 
 (** Optimal fusion schedule for [t] iterations given per-version times:
@@ -192,7 +223,15 @@ let optimal_schedule (r : result) ~t =
     if tt = 0 then acc else collect (tt - choice.(tt)) (choice.(tt) :: acc)
   in
   if t > 0 && opt.(t) = infinity then invalid_arg "optimal_schedule: no versions"
-  else (collect t [], opt.(t))
+  else begin
+    let schedule = collect t [] in
+    if Journal.enabled () then
+      Journal.append "deep.schedule"
+        [ ("iterations", Json.Int t);
+          ("schedule", Json.List (List.map (fun x -> Json.Int x) schedule));
+          ("predicted_time_s", Json.Float opt.(t)) ];
+    (schedule, opt.(t))
+  end
 
 (** Brute-force check of the DP (used by property tests): enumerate all
     compositions of [t] into parts with known times. *)

@@ -16,7 +16,12 @@ module Classify = Artemis_profile.Classify
 module Hints = Artemis_profile.Hints
 module Trace = Artemis_obs.Trace
 module Metrics = Artemis_obs.Metrics
+module Journal = Artemis_obs.Journal
+module Json = Artemis_obs.Json
 module Pool = Artemis_par.Pool
+module Device = Artemis_gpu.Device
+module Counters = Artemis_gpu.Counters
+module Timing = Artemis_gpu.Timing
 
 type record = {
   best : Analytic.measurement;
@@ -54,9 +59,11 @@ let measure_candidate (plan : Plan.t) =
   match Lint.launch_errors sp with
   | (f : Lint.finding) :: _ -> `Lint_pruned f
   | [] -> (
-    match Measure_cache.try_measure sp with
-    | Some m -> `Measured m
-    | None -> `Failed)
+    (* The cache outcome rides along so the main-domain fold can journal
+       it without workers touching the journal. *)
+    match Measure_cache.try_measure_outcome sp with
+    | Some m, cache -> `Measured (m, cache)
+    | None, cache -> `Failed cache)
 
 let m_configs_measured = Metrics.counter "tuner.configs_measured"
 let m_tuner_runs = Metrics.counter "tuner.runs"
@@ -117,22 +124,28 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
           [ ("phase", Str phase); ("plan", Str (Plan.label plan));
             ("decision", Str "pruned"); ("reason", Str reason) ]
   in
+  let cache_str = function `Hit -> "hit" | `Miss -> "miss" in
   let consider_result ~phase acc plan result =
     match result with
     | `Lint_pruned (f : Lint.finding) ->
       Metrics.incr
         (Metrics.counter "tuner.configs_lint_pruned" ~labels:[ ("code", f.code) ]);
       prune ~phase ~reason:("lint:" ^ f.code) plan;
+      if Journal.enabled () then
+        Journal.append "tuner.candidate"
+          [ ("phase", Json.Str phase); ("plan", Json.Str (Plan.label plan));
+            ("decision", Json.Str "lint-pruned");
+            ("lint_code", Json.Str f.code) ];
       acc
-    | `Measured (m : Analytic.measurement) ->
+    | `Measured ((m : Analytic.measurement), cache) ->
       incr explored;
       Metrics.incr m_configs_measured;
+      let kept =
+        match acc with
+        | None -> true
+        | Some (a : Analytic.measurement) -> m.tflops > a.tflops
+      in
       if Trace.enabled () then begin
-        let kept =
-          match acc with
-          | None -> true
-          | Some (a : Analytic.measurement) -> m.tflops > a.tflops
-        in
         let prof = Classify.classify m.plan.device m.counters ~time_s:m.time_s in
         Trace.instant "tuner.config"
           ~attrs:
@@ -141,11 +154,35 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
               ("verdict", Str (Classify.verdict_to_string prof.verdict));
               ("decision", Str (if kept then "keep" else "drop")) ]
       end;
+      if Journal.enabled () then
+        (* The full predicted-traffic record: this is what explain's
+           roofline breakdown renders, so every byte class and both FLOP
+           totals go in, not just the score. *)
+        Journal.append "tuner.candidate"
+          [ ("phase", Json.Str phase); ("plan", Json.Str (Plan.label m.plan));
+            ("decision", Json.Str (if kept then "keep" else "drop"));
+            ("cache", Json.Str (cache_str cache));
+            ("tflops", Json.Float m.tflops); ("time_s", Json.Float m.time_s);
+            ( "bottleneck",
+              Json.Str (Timing.bound_to_string m.breakdown.bottleneck) );
+            ("useful_flops", Json.Float m.counters.useful_flops);
+            ("total_flops", Json.Float m.counters.total_flops);
+            ("dram_bytes", Json.Float m.counters.dram_bytes);
+            ("tex_bytes", Json.Float m.counters.tex_bytes);
+            ("shm_bytes", Json.Float m.counters.shm_bytes);
+            ("spill_bytes", Json.Float m.counters.spill_bytes);
+            ("oi_dram", Json.Float (Counters.oi_dram m.counters));
+            ("oi_tex", Json.Float (Counters.oi_tex m.counters));
+            ("oi_shm", Json.Float (Counters.oi_shm m.counters)) ];
       if List.length !history < 64 then
         history := (Plan.label m.plan, m.tflops) :: !history;
       better acc m
-    | `Failed ->
+    | `Failed cache ->
       prune ~phase ~reason:"measurement-failed" plan;
+      if Journal.enabled () then
+        Journal.append "tuner.candidate"
+          [ ("phase", Json.Str phase); ("plan", Json.Str (Plan.label plan));
+            ("decision", Json.Str "failed"); ("cache", Json.Str (cache_str cache)) ];
       acc
   in
   (* Fan the measurements out, then fold the results on this domain in
@@ -156,6 +193,16 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
     List.fold_left2 (consider_result ~phase) acc plans results
   in
   Metrics.incr m_tuner_runs;
+  (* One header event per search: the machine-model constants explain
+     needs to rebuild the roofline without re-opening the device table. *)
+  if Journal.enabled () then
+    Journal.append "tuner.run"
+      [ ("kernel", Json.Str base.kernel.kname);
+        ("device", Json.Str base.device.name);
+        ("alpha_tflops", Json.Float (base.device.peak_dp_flops /. 1e12));
+        ("knee_dram", Json.Float (Device.knee_dram base.device));
+        ("knee_tex", Json.Float (Device.knee_tex base.device));
+        ("knee_shm", Json.Float (Device.knee_shm base.device)) ];
   (* ---- phase 1: block shapes x unroll vectors ---- *)
   let blocks =
     Space.block_candidates ~rank ~scheme:base.scheme

@@ -84,10 +84,14 @@ let record outcome =
    measure directly, touching neither the table nor the hit/miss metrics. *)
 let bypass = ref false
 
-(** Memoized [Analytic.try_measure].  Invalid plans cache their [None] so
-    repeated probes of the same dead configuration cost one lookup. *)
-let try_measure (plan : Plan.t) =
-  if !bypass then Artemis_exec.Analytic.try_measure plan
+(** Memoized [Analytic.try_measure] that also reports whether the cache
+    answered.  The outcome returns to the caller (rather than being only
+    a side-effect metric) so main-domain folds can journal it in
+    canonical candidate order — workers must not append to the journal
+    themselves.  A bypassed measurement counts as a miss but, as before,
+    touches neither the table nor the metrics. *)
+let try_measure_outcome (plan : Plan.t) =
+  if !bypass then (Artemis_exec.Analytic.try_measure plan, `Miss)
   else
   let key = key_of plan in
   let cached =
@@ -104,7 +108,7 @@ let try_measure (plan : Plan.t) =
   match cached with
   | Some r ->
     record `Hit;
-    r
+    (r, `Hit)
   | None ->
     record `Miss;
     let r = Artemis_exec.Analytic.try_measure plan in
@@ -113,7 +117,11 @@ let try_measure (plan : Plan.t) =
           Hashtbl.replace table key r;
           disk_store key r
         end);
-    r
+    (r, `Miss)
+
+(** Memoized [Analytic.try_measure].  Invalid plans cache their [None] so
+    repeated probes of the same dead configuration cost one lookup. *)
+let try_measure (plan : Plan.t) = fst (try_measure_outcome plan)
 
 (** Drop every in-memory entry (the on-disk store is left alone). *)
 let clear () = Mutex.protect lock (fun () -> Hashtbl.reset table)

@@ -19,6 +19,12 @@ val key_of : Artemis_ir.Plan.t -> string
     that measured invalid — costs a lookup, not a re-evaluation. *)
 val try_measure : Artemis_ir.Plan.t -> Artemis_exec.Analytic.measurement option
 
+(** [try_measure] plus whether the cache answered, so callers folding on
+    the main domain can journal the outcome in canonical order.  Under
+    {!bypass} the outcome is always [`Miss]. *)
+val try_measure_outcome :
+  Artemis_ir.Plan.t -> Artemis_exec.Analytic.measurement option * [ `Hit | `Miss ]
+
 (** When set, [try_measure] measures directly — no table, no metrics.
     The benchmark harness's pre-cache baseline configuration. *)
 val bypass : bool ref

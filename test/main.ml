@@ -17,6 +17,7 @@ let () =
       Test_profile.tests;
       Test_tune.tests;
       Test_obs.tests;
+      Test_journal.tests;
       Test_fuse.tests;
       Test_lint.tests;
       Test_verify.tests;

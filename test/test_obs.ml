@@ -108,6 +108,28 @@ let tests =
              Alcotest.failf "expected 4 buckets, got %d" (List.length other));
           Alcotest.(check (float 1e-9)) "sum" 14.7 (Metrics.histogram_sum h))
       ;
+      case "histogram_quantile interpolates within buckets" (fun () ->
+          let h = Metrics.histogram "test.quant" ~buckets:[| 1.0; 2.0; 5.0 |] in
+          Alcotest.(check (option (float 0.0))) "empty histogram" None
+            (Metrics.histogram_quantile h 0.5);
+          List.iter (Metrics.observe h)
+            [ 0.25; 0.5; 0.75; 1.0; 1.2; 1.4; 1.6; 2.0 ];
+          let q p = Metrics.histogram_quantile h p in
+          Alcotest.(check (option (float 1e-9)))
+            "p50 at the first bucket's upper edge" (Some 1.0) (q 0.5);
+          Alcotest.(check (option (float 1e-9)))
+            "p75 interpolates halfway into the second bucket" (Some 1.5)
+            (q 0.75);
+          Alcotest.(check (option (float 1e-9)))
+            "p100 is the highest occupied edge" (Some 2.0) (q 1.0);
+          (* An overflow observation pushes high quantiles past every
+             finite bucket; the estimate clamps to the last finite bound
+             rather than reporting infinity. *)
+          Metrics.observe h 10.0;
+          Alcotest.(check (option (float 1e-9)))
+            "overflow mass clamps to the last finite bound" (Some 5.0)
+            (q 0.99))
+      ;
       case "counters and gauges register idempotently" (fun () ->
           let c = Metrics.counter "test.counter" ~labels:[ ("k", "v") ] in
           let c' = Metrics.counter ~labels:[ ("k", "v") ] "test.counter" in
