@@ -3,7 +3,7 @@
 TRACE   := /tmp/artemis-trace.json
 REPORT  := /tmp/artemis-report.json
 
-.PHONY: all build test check bench trace-smoke lint-smoke fuzz-smoke perf-smoke obs-smoke clean
+.PHONY: all build test check bench trace-smoke lint-smoke fuzz-smoke perf-smoke wavefront-smoke obs-smoke clean
 
 all: build
 
@@ -22,6 +22,7 @@ check:
 	$(MAKE) lint-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) perf-smoke
+	$(MAKE) wavefront-smoke
 	$(MAKE) obs-smoke
 
 bench:
@@ -58,6 +59,12 @@ fuzz-smoke:
 perf-smoke:
 	dune exec bench/main.exe -- tuner-smoke
 	dune exec bench/main.exe -- exec-smoke
+
+# Wavefront smoke test (docs/PERF.md): a Gauss-Seidel case through the
+# wavefront schedule must match the guarded per-point fallback bit for
+# bit while actually sweeping wavefront segments.
+wavefront-smoke:
+	dune exec bench/main.exe -- wavefront-smoke
 
 # Provenance smoke test (docs/OBSERVABILITY.md): the explain report must
 # be byte-identical at jobs=1 and jobs=4 (every tuner decision journaled

@@ -989,9 +989,83 @@ let exec_report matrix =
   in
   (speedup_vs_compiled, speedup_vs_interp, equal)
 
-let write_exec_json matrix =
+(* ------------------------------------------------------------------ *)
+(* Dependent stencils: wavefront schedule vs guarded fallback           *)
+(* ------------------------------------------------------------------ *)
+
+(* Gauss-Seidel and SOR bodies carry a uniform self-dependence, so the
+   split executor runs them as anti-diagonal wavefronts: the rows of
+   each hyperplane are mutually independent (parallelized across the
+   pool) and swept with the flat-index bounds-check-free inner loop.
+   [Eval.with_wavefront false] forces the guarded per-point fallback
+   over the same region.  Both traversals realize the same
+   dependence-respecting order, so every copyout grid must be
+   bit-identical — asserted here, and pinned case by case by the fuzz
+   oracle (invariant 4 in lib/verify/oracle.mli). *)
+
+let gs2d_src ~n ~m =
+  Printf.sprintf
+    {|parameter L=%d, M=%d; iterator j, i;
+      double u[L,M], f[L,M]; copyin u, f;
+      stencil gs (x, g) {
+        x[j][i] = 0.25 * (x[j][i-1] + x[j-1][i] + x[j][i+1] + x[j+1][i]) + 0.0625 * g[j][i];
+      }
+      gs (u, f); copyout u;|}
+    n m
+
+let sor3d_src ~n =
+  Printf.sprintf
+    {|parameter N=%d; iterator k, j, i;
+      double u[N,N,N]; copyin u;
+      stencil sor (x) {
+        x[k][j][i] = 0.0625 * x[k][j][i] + 0.125 * (x[k][j][i-1] + x[k][j-1][i] + x[k-1][j][i] + x[k][j][i+1] + x[k][j+1][i] + x[k+1][j][i]);
+      }
+      sor (u); copyout u;|}
+    n
+
+let dependent_cases ~size2 ~size3 =
+  [ ("gs2d", Artemis.parse_string (gs2d_src ~n:size2 ~m:size2));
+    ("sor3d", Artemis.parse_string (sor3d_src ~n:size3)) ]
+
+(* Reference-executor wall seconds for [reps] sweeps under each schedule
+   (both measured in split mode — only the wavefront toggle differs);
+   returns (wavefront_s, guarded_s, bit_equal). *)
+let dependent_run (prog : Artemis.Ast.program) ~reps =
+  let scalars = Artemis.Reference.scalars_of_program prog in
+  let sched = I.schedule prog in
+  let run_once () =
+    let store = Artemis.Reference.store_of_program prog in
+    for _ = 1 to reps do
+      Artemis.Reference.run_schedule store ~scalars sched
+    done;
+    List.map
+      (fun n -> (n, Artemis_exec.Grid.copy (Artemis.Reference.find_array store n)))
+      prog.copyout
+  in
+  let wf_s, wf_out = wall run_once in
+  let gd_s, gd_out =
+    Artemis_exec.Eval.with_wavefront false (fun () -> wall run_once)
+  in
+  (wf_s, gd_s, outputs_equal wf_out gd_out)
+
+let dependent_matrix ~size2 ~size3 ~reps =
+  let m_split = List.find (fun m -> m.em_name = "split") exec_modes in
+  with_exec_mode m_split (fun () ->
+      List.map
+        (fun (name, prog) ->
+          let wf_s, gd_s, equal = dependent_run prog ~reps in
+          (name, wf_s, gd_s, equal))
+        (dependent_cases ~size2 ~size3))
+
+let dependent_report rows =
+  let wf = List.fold_left (fun a (_, w, _, _) -> a +. w) 0.0 rows in
+  let gd = List.fold_left (fun a (_, _, g, _) -> a +. g) 0.0 rows in
+  (gd /. Float.max wf 1e-9, List.for_all (fun (_, _, _, e) -> e) rows)
+
+let write_exec_json matrix dep_rows =
   let module J = Artemis.Json in
   let speedup_vs_compiled, speedup_vs_interp, equal = exec_report matrix in
+  let dep_speedup, dep_equal = dependent_report dep_rows in
   let doc =
     J.Obj
       [ ("meta", bench_meta ());
@@ -1017,9 +1091,23 @@ let write_exec_json matrix =
                           (fun acc (_, r, b, _) -> acc +. r +. b)
                           fuzz_s rows)) ])
               matrix));
+        ("dependent",
+         J.List
+           (List.map
+              (fun (name, wf_s, gd_s, equal) ->
+                J.Obj
+                  [ ("name", J.Str name);
+                    ("wavefront_wall_s", J.Float wf_s);
+                    ("guarded_wall_s", J.Float gd_s);
+                    ("speedup_wavefront_vs_guarded",
+                     J.Float (gd_s /. Float.max wf_s 1e-9));
+                    ("outputs_equal", J.Bool equal) ])
+              dep_rows));
         ("speedup_split_vs_compiled", J.Float speedup_vs_compiled);
         ("speedup_split_vs_interpreter", J.Float speedup_vs_interp);
-        ("outputs_equal", J.Bool equal) ]
+        ("speedup_wavefront_vs_guarded", J.Float dep_speedup);
+        ("outputs_equal", J.Bool equal);
+        ("wavefront_outputs_equal", J.Bool dep_equal) ]
   in
   let oc = open_out "BENCH_exec.json" in
   Fun.protect
@@ -1041,7 +1129,17 @@ let exec_bench () =
   Printf.printf "speedup split vs compiled    : %.2fx\n" speedup_vs_compiled;
   Printf.printf "speedup split vs interpreter : %.2fx\n" speedup_vs_interp;
   Printf.printf "outputs bit-identical        : %b\n%!" equal;
-  write_exec_json matrix
+  header "Dependent stencils: wavefront schedule vs guarded fallback";
+  let dep_rows = dependent_matrix ~size2:256 ~size3:40 ~reps:4 in
+  List.iter
+    (fun (name, wf_s, gd_s, dep_eq) ->
+      Printf.printf "%-8s wavefront %6.3fs  guarded %6.3fs  speedup %5.2fx  equal %b\n%!"
+        name wf_s gd_s (gd_s /. Float.max wf_s 1e-9) dep_eq)
+    dep_rows;
+  let dep_speedup, dep_equal = dependent_report dep_rows in
+  Printf.printf "speedup wavefront vs guarded : %.2fx\n" dep_speedup;
+  Printf.printf "outputs bit-identical        : %b\n%!" dep_equal;
+  write_exec_json matrix dep_rows
 
 (* Hidden smoke variant (`make perf-smoke`): one suite program, split vs
    compiled baseline, hard assertions on output equality and on the
@@ -1070,6 +1168,32 @@ let exec_smoke () =
     exit 1
   end
 
+(* Hidden smoke variant (`make wavefront-smoke`): one small Gauss-Seidel
+   case, wavefront schedule vs guarded fallback, hard assertions on
+   bit-equality and on the wavefront path actually being taken. *)
+let wavefront_smoke () =
+  header "wavefront smoke: wavefront vs guarded fallback on gs2d";
+  let prog = Artemis.parse_string (gs2d_src ~n:64 ~m:64) in
+  let m_wf = Artemis.Metrics.counter "exec.wavefront_points" in
+  let before = Artemis.Metrics.counter_value m_wf in
+  let m_split = List.find (fun m -> m.em_name = "split") exec_modes in
+  let wf_s, gd_s, equal =
+    with_exec_mode m_split (fun () -> dependent_run prog ~reps:2)
+  in
+  let swept = Artemis.Metrics.counter_value m_wf -. before in
+  Printf.printf
+    "outputs identical %b; wavefront points swept %.0f (wavefront %.3fs guarded %.3fs)\n%!"
+    equal swept wf_s gd_s;
+  if not equal then begin
+    prerr_endline
+      "wavefront-smoke FAILED: wavefront outputs differ from the guarded fallback";
+    exit 1
+  end;
+  if swept <= 0.0 then begin
+    prerr_endline "wavefront-smoke FAILED: the wavefront schedule was never taken";
+    exit 1
+  end
+
 (* ------------------------------------------------------------------ *)
 
 let all_experiments =
@@ -1081,7 +1205,8 @@ let all_experiments =
 
 (* Runnable by explicit name only — not part of the default sweep. *)
 let hidden_experiments =
-  [ ("tuner-smoke", tuner_smoke); ("exec-smoke", exec_smoke) ]
+  [ ("tuner-smoke", tuner_smoke); ("exec-smoke", exec_smoke);
+    ("wavefront-smoke", wavefront_smoke) ]
 
 let () =
   Printf.printf "ARTEMIS reproduction benchmarks — %s\n%!"

@@ -88,21 +88,30 @@ let backward_slice g id =
   Array.iteri (fun i node -> if seen.(i) then slice := node :: !slice) g.nodes;
   List.rev !slice
 
-(** Ids of nodes writing arrays that are never read later in the body:
-    the final outputs of the DAG. *)
+(** Ids of nodes writing arrays that are never read by another body
+    statement: the final outputs of the DAG.  A statement's own self-read
+    (a Gauss-Seidel update) is an input of the definition, not a
+    downstream consumer, so it does not disqualify the node. *)
 let output_nodes g (k : I.kernel) =
   let arrays = List.map fst k.arrays in
-  let read_later = Hashtbl.create 16 in
+  let readers : (string, int list) Hashtbl.t = Hashtbl.create 16 in
   Array.iter
     (fun node ->
       List.iter
-        (fun use -> if List.mem use arrays then Hashtbl.replace read_later use ())
+        (fun use ->
+          if List.mem use arrays then
+            Hashtbl.replace readers use
+              (node.id :: Option.value ~default:[] (Hashtbl.find_opt readers use)))
         node.uses)
     g.nodes;
   Array.to_list g.nodes
   |> List.filter_map (fun node ->
-         if List.mem node.defines arrays && not (Hashtbl.mem read_later node.defines)
-         then Some node.id
+         let read_elsewhere =
+           match Hashtbl.find_opt readers node.defines with
+           | None -> false
+           | Some ids -> List.exists (fun id -> id <> node.id) ids
+         in
+         if List.mem node.defines arrays && not read_elsewhere then Some node.id
          else None)
 
 (** Topological order check (bodies are sequences, so always sorted, but

@@ -38,6 +38,7 @@ let measure (plan : Plan.t) =
       blocks = ctx.geom.total_blocks;
       threads_per_block = Plan.threads_per_block plan;
       prefetch = plan.prefetch;
+      serial_waves = ctx.serial_waves;
     }
   in
   let breakdown = Timing.evaluate plan.device workload in

@@ -98,8 +98,28 @@ let guard env point (e : A.expr) =
 
 let use_interpreter = ref false
 let use_split = ref true
+let use_wavefront = ref true
 
 let split_enabled () = !use_split && not !use_interpreter
+
+(* The fuzz oracle flips the wavefront schedule off *inside pool
+   workers* to compare it against the guarded fallback, so the override
+   must be domain-scoped — mutating the global under parallel fuzzing
+   would race across concurrent cases. *)
+let wavefront_override : bool option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let wavefront_enabled () =
+  (match !(Domain.DLS.get wavefront_override) with
+  | Some v -> v
+  | None -> !use_wavefront)
+  && split_enabled ()
+
+let with_wavefront v f =
+  let slot = Domain.DLS.get wavefront_override in
+  let saved = !slot in
+  slot := Some v;
+  Fun.protect ~finally:(fun () -> slot := saved) f
 
 type binder = {
   bind_array : string -> Grid.t;  (** array storage, temp grids included *)
@@ -342,14 +362,37 @@ let clip_in_bounds (paths : access_path list) (box : Region.box) : Region.box =
   out
 
 (* Splitting reorders the sweep (shells before interior), so it is only
-   sound when each point's effects are confined to that point: the write
-   must determine the point (every iteration dimension appears in the
-   write index, so writes are injective), and any read aliasing the
-   written grid must read exactly the cell being written. *)
-let order_independent ~rank ~(target : Grid.t) ~(wspec : (int * int) array) paths =
-  let covered = Array.make rank false in
+   sound when reordering cannot be observed:
+
+   - any read aliasing the written grid must read exactly the cell being
+     written (a pure identity self-read — order-independent no matter
+     what the iterators cover); and
+   - an iteration dimension missing from the write index (the same cell
+     written on every value of that dimension) is harmless as long as no
+     read varies along it: every repeat then computes the same value, so
+     assignment is idempotent and accumulation applies the same
+     per-cell function the same number of times in any order.  A read
+     that does vary along an uncovered dimension makes the repeats
+     observable (which repeat lands last / the float accumulation order)
+     and forces the guarded path.  Per-point temporaries are
+     domain-shaped identity reads: they vary along every dimension
+     ([reads_temp]). *)
+let order_independent ~rank ~(target : Grid.t) ~(wspec : (int * int) array)
+    ~reads_temp paths =
+  let covered = Array.make (max rank 1) false in
   Array.iter (fun (dim, _) -> if dim >= 0 then covered.(dim) <- true) wspec;
-  Array.for_all Fun.id covered
+  let varying = Array.make (max rank 1) reads_temp in
+  List.iter
+    (fun p ->
+      Array.iter
+        (fun (dim, _) -> if dim >= 0 then varying.(dim) <- true)
+        p.ap_spec)
+    paths;
+  let free_ok = ref true in
+  for d = 0 to rank - 1 do
+    if (not covered.(d)) && varying.(d) then free_ok := false
+  done;
+  !free_ok
   && List.for_all
        (fun p ->
          (not (p.ap_grid.Grid.data == target.Grid.data)) || p.ap_spec = wspec)
@@ -483,6 +526,17 @@ type split_stmt = {
   ss_paths : access_path list;  (* write + reads: the in-bounds constraints *)
 }
 
+(* Does the expression read any per-point temporary?  [reads_of_expr]
+   only lists array accesses, so temp reads (domain-shaped identity
+   accesses) must be detected separately for [order_independent]. *)
+let rec expr_reads_temp (b : binder) (e : A.expr) =
+  match e with
+  | A.Const _ | A.Access _ -> false
+  | A.Scalar_ref s -> b.bind_temp s <> None
+  | A.Neg e1 -> expr_reads_temp b e1
+  | A.Bin (_, e1, e2) -> expr_reads_temp b e1 || expr_reads_temp b e2
+  | A.Call (_, args) -> List.exists (expr_reads_temp b) args
+
 let compile_split (b : binder) ~(target : Grid.t) (idx : A.index list)
     (e : A.expr) : split_stmt option =
   let rank = List.length b.binder_iters in
@@ -491,7 +545,11 @@ let compile_split (b : binder) ~(target : Grid.t) (idx : A.index list)
     List.map (fun (a, ridx) -> access_path b (b.bind_array a) ridx)
       (A.reads_of_expr e)
   in
-  if not (order_independent ~rank ~target ~wspec:wpath.ap_spec rpaths) then None
+  let reads_temp = expr_reads_temp b e in
+  if
+    not
+      (order_independent ~rank ~target ~wspec:wpath.ap_spec ~reads_temp rpaths)
+  then None
   else
     Some
       {
@@ -534,3 +592,115 @@ let run_row_accum (ss : split_stmt) (point : int array) (n : int) =
       let w = base + (q * step) in
       data.(w) <- data.(w) +. fat q
     done
+
+(* ------------------------------------------------------------------ *)
+(* Unified statement compilation                                       *)
+(* ------------------------------------------------------------------ *)
+
+type stmt_class =
+  | Sc_split of split_stmt
+  | Sc_wavefront of split_stmt * int array
+  | Sc_guarded
+
+type stmt_exec = {
+  sx_class : stmt_class;
+  sx_guarded : int array -> unit;
+  sx_row : int array -> int -> unit;
+}
+
+let no_row _ _ = invalid_arg "Eval.compile_stmt: guarded statement has no row body"
+
+(* Uniform self-dependence distances of the statement, or [None] when
+   the wavefront schedule does not apply: the write must cover every
+   iteration dimension (each point writes its own cell exactly once, so
+   "iteration p reads the cell iteration p + delta writes" is
+   well-defined) and every target-aliased read must be a constant
+   offset of the write.  Identity and provably-disjoint reads drop out. *)
+let self_deltas ~rank ~(target : Grid.t) ~(wspec : (int * int) array) paths =
+  let covered = Array.make (max rank 1) false in
+  Array.iter (fun (dim, _) -> if dim >= 0 then covered.(dim) <- true) wspec;
+  let all_covered =
+    rank = 0 || Array.for_all Fun.id (Array.sub covered 0 rank)
+  in
+  if not all_covered then None
+  else begin
+    let rec collect acc = function
+      | [] -> Some (List.rev acc)
+      | p :: rest ->
+        if not (p.ap_grid.Grid.data == target.Grid.data) then collect acc rest
+        else (
+          match Wavefront.delta_of_specs ~rank ~wspec ~rspec:p.ap_spec with
+          | `Non_uniform -> None
+          | `No_alias -> collect acc rest
+          | `Delta d ->
+            if Array.for_all (fun c -> c = 0) d then collect acc rest
+            else collect (d :: acc) rest)
+    in
+    collect [] paths
+  end
+
+(** One statement compiled for sweeping: the guarded per-point closure
+    (always available — boundary shells, wavefront row ends, and the
+    full fallback all use it) plus the schedule class the executors
+    dispatch on.  All closures share one plan cache, so the guarded
+    fallback no longer rebuilds the plans the split decision already
+    constructed. *)
+let compile_stmt (b : binder) ~(target : Grid.t) ~(accum : bool)
+    (idx : A.index list) (e : A.expr) : stmt_exec =
+  if not (split_enabled ()) then begin
+    let coords_at = compile_coords b idx in
+    let c = compile b e in
+    let guarded p =
+      let w = coords_at p in
+      if Grid.in_bounds target w && c.cguard p then
+        if accum then Grid.set target w (Grid.get target w +. c.cvalue p)
+        else Grid.set target w (c.cvalue p)
+    in
+    { sx_class = Sc_guarded; sx_guarded = guarded; sx_row = no_row }
+  end
+  else begin
+    let plan_of = plan_cache b in
+    let coords_at = access_plan b idx in
+    let cguard = compile_guard ~plan_of e in
+    let cvalue = compile_value ~plan_of b e in
+    let guarded p =
+      let w = coords_at p in
+      if Grid.in_bounds target w && cguard p then
+        if accum then Grid.set target w (Grid.get target w +. cvalue p)
+        else Grid.set target w (cvalue p)
+    in
+    let rank = List.length b.binder_iters in
+    let wpath = access_path b target idx in
+    let rpaths =
+      List.map (fun (a, ridx) -> access_path b (b.bind_array a) ridx)
+        (A.reads_of_expr e)
+    in
+    let reads_temp = expr_reads_temp b e in
+    let mk_split () =
+      {
+        ss_write = wpath;
+        ss_expr = compile_flat ~target b e;
+        ss_paths = wpath :: rpaths;
+      }
+    in
+    let cls =
+      if
+        order_independent ~rank ~target ~wspec:wpath.ap_spec ~reads_temp rpaths
+      then Sc_split (mk_split ())
+      else if wavefront_enabled () then (
+        match self_deltas ~rank ~target ~wspec:wpath.ap_spec rpaths with
+        | Some deltas -> (
+          match Wavefront.hyperplane ~rank deltas with
+          | Some vec -> Sc_wavefront (mk_split (), vec)
+          | None -> Sc_guarded)
+        | None -> Sc_guarded)
+      else Sc_guarded
+    in
+    let row =
+      match cls with
+      | Sc_split ss | Sc_wavefront (ss, _) ->
+        if accum then run_row_accum ss else run_row_assign ss
+      | Sc_guarded -> no_row
+    in
+    { sx_class = cls; sx_guarded = guarded; sx_row = row }
+  end

@@ -51,9 +51,24 @@ val use_interpreter : bool ref
     PR-4 baseline).  Results are bit-identical either way. *)
 val use_split : bool ref
 
+(** When set (the default), statements whose self-dependences are
+    uniform sweep through the wavefront schedule ({!Wavefront}) instead
+    of falling back to the guarded per-point path.  Results are
+    bit-identical either way — pinned by the fuzz oracle. *)
+val use_wavefront : bool ref
+
 (** Splitting is active: {!use_split} and not {!use_interpreter} (the
     interpreter baseline must stay pure per-point). *)
 val split_enabled : unit -> bool
+
+(** The wavefront schedule is active: {!use_wavefront} (or a scoped
+    {!with_wavefront} override) and {!split_enabled}. *)
+val wavefront_enabled : unit -> bool
+
+(** [with_wavefront v f] runs [f] with the wavefront schedule forced to
+    [v] on the calling domain only (domain-scoped, so the fuzz oracle
+    can flip it inside pool workers without racing concurrent cases). *)
+val with_wavefront : bool -> (unit -> 'a) -> 'a
 
 (** Name resolution for compilation, fixed before the sweep begins:
     [bind_temp] wins over [bind_scalar] for scalar references (temps
@@ -150,3 +165,51 @@ val split_interior : split_stmt -> Region.box -> Region.box
 val run_row_assign : split_stmt -> int array -> int -> unit
 
 val run_row_accum : split_stmt -> int array -> int -> unit
+
+(** {1 Unified statement compilation}
+
+    One entry point deciding how a statement sweeps: order-independent
+    statements split (interior rows + guarded shells), uniform
+    self-dependent statements take the wavefront schedule under a legal
+    hyperplane, everything else stays guarded per point. *)
+
+type stmt_class =
+  | Sc_split of split_stmt  (** order-independent: interior/halo split *)
+  | Sc_wavefront of split_stmt * int array
+      (** uniform self-dependence under the given outer-dimension
+          hyperplane ({!Wavefront.sweep}) *)
+  | Sc_guarded  (** whole-region guarded per-point fallback *)
+
+type stmt_exec = {
+  sx_class : stmt_class;
+  sx_guarded : int array -> unit;
+      (** guarded per-point body — shells, wavefront row ends, fallback *)
+  sx_row : int array -> int -> unit;
+      (** flat row body; [Invalid_argument] under [Sc_guarded] *)
+}
+
+(** Uniform self-dependence distances (read point minus write point) of
+    a statement from its physical access paths, or [None] when the
+    wavefront schedule does not apply (write does not cover every
+    iteration dimension, or a target-aliased read is not a constant
+    offset of the write). *)
+val self_deltas :
+  rank:int ->
+  target:Grid.t ->
+  wspec:(int * int) array ->
+  access_path list ->
+  int array list option
+
+(** Compile [target[idx] = e] (or [+=] under [accum]) into its guarded
+    closure plus schedule class.  All closures share one plan cache —
+    the guarded fallback no longer rebuilds the plans the split decision
+    already constructed.  Like {!compile}, the result reuses internal
+    buffers and belongs to one sequential sweep: parallel wavefront
+    bands each compile their own instance. *)
+val compile_stmt :
+  binder ->
+  target:Grid.t ->
+  accum:bool ->
+  Artemis_dsl.Ast.index list ->
+  Artemis_dsl.Ast.expr ->
+  stmt_exec

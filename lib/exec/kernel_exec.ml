@@ -125,6 +125,23 @@ let run (plan : Plan.t) (store : Reference.store) ~scalars =
       binder_iters = k.iters;
     }
   in
+  (* Arrays updated in place by a self-dependent statement (Gauss-Seidel
+     sweeps).  They are "intermediates" by the written-and-read test, but
+     the overlapped-recompute protocol is unsound for them — re-executing
+     a halo point applies the non-idempotent update twice — and a staged
+     snapshot would freeze the very values the dependence flows through.
+     Each is owned by its tile (region clipped like a final) and bound to
+     the live global array for both reads and writes. *)
+  let self_dep_arrays =
+    List.filter_map
+      (fun st ->
+        match Wavefront.stmt_self_deps ~iters:k.iters st with
+        | Wavefront.No_dep -> None
+        | Wavefront.Uniform _ | Wavefront.Non_uniform -> A.written_array st)
+      k.body
+    |> List.sort_uniq compare
+  in
+  let self_dep a = List.mem a self_dep_arrays in
   (* Pre-create scratch for temps and shared intermediates so lookups during
      evaluation resolve to scratch, not stale store contents. *)
   List.iter
@@ -132,7 +149,8 @@ let run (plan : Plan.t) (store : Reference.store) ~scalars =
       match st with
       | A.Decl_temp (n, _) -> ignore (scratch_for n)
       | A.Assign (a, _, _) | A.Accum (a, _, _) ->
-        if List.mem a inter && not (inter_in_global a) then ignore (scratch_for a))
+        if List.mem a inter && not (inter_in_global a) && not (self_dep a) then
+          ignore (scratch_for a))
     k.body;
   (* Compile every statement once for the whole launch — all bindings are
      stable after the pre-create pass, and the block loop re-sweeps the
@@ -153,39 +171,35 @@ let run (plan : Plan.t) (store : Reference.store) ~scalars =
             (scratch_for n, false, identity_idx, e, false)
           | A.Assign (a, idx, e) ->
             let target =
-              if List.mem a finals || inter_in_global a then global_array a
+              if List.mem a finals || inter_in_global a || self_dep a then
+                global_array a
               else scratch_for a
             in
-            (target, List.mem a finals, idx, e, false)
+            (target, List.mem a finals || self_dep a, idx, e, false)
           | A.Accum (a, idx, e) ->
             let target =
-              if List.mem a finals || inter_in_global a then global_array a
+              if List.mem a finals || inter_in_global a || self_dep a then
+                global_array a
               else scratch_for a
             in
-            (target, List.mem a finals, idx, e, true)
+            (target, List.mem a finals || self_dep a, idx, e, true)
         in
-        let coords_at = Eval.compile_coords binder idx in
-        let c = Eval.compile binder e in
-        let guarded =
-          if accum then (fun point ->
-            let w = coords_at point in
-            if Grid.in_bounds target w && c.Eval.cguard point then
-              Grid.set target w (Grid.get target w +. c.cvalue point))
-          else fun point ->
-            let w = coords_at point in
-            if Grid.in_bounds target w && c.Eval.cguard point then
-              Grid.set target w (c.cvalue point)
+        let make () = Eval.compile_stmt binder ~target ~accum idx e in
+        let sx = make () in
+        (* Wavefront statements get one sweeper per launch: tile-local
+           wavefronts re-sweep it block after block, growing executor
+           instances (fresh [make ()] per parallel band) on demand. *)
+        let wavefront =
+          match sx.Eval.sx_class with
+          | Eval.Sc_wavefront (_, vec) ->
+            let make_exec () =
+              let sx = make () in
+              { Wavefront.we_guarded = sx.Eval.sx_guarded; we_row = sx.sx_row }
+            in
+            Some (Wavefront.sweeper ~make_exec, vec)
+          | Eval.Sc_split _ | Eval.Sc_guarded -> None
         in
-        let split =
-          if Eval.split_enabled () then
-            match Eval.compile_split binder ~target idx e with
-            | Some ss ->
-              Some
-                (ss, if accum then Eval.run_row_accum ss else Eval.run_row_assign ss)
-            | None -> None
-          else None
-        in
-        ( si, is_final, guarded, split,
+        ( si, is_final, sx, wavefront,
           (* per-statement scratch: swept region and point buffer *)
           Array.make rank (0, 0), Array.make rank 0 ))
       ctx.stmts
@@ -194,22 +208,32 @@ let run (plan : Plan.t) (store : Reference.store) ~scalars =
     let tile = Traffic.tile_box ctx block in
     if Traffic.box_volume tile > 0 then
       List.iter
-        (fun ((si : Traffic.stmt_info), is_final, guarded, split, region, point) ->
+        (fun ((si : Traffic.stmt_info), is_final, sx, wavefront, region, point) ->
           Traffic.extend_clip_into ctx tile si.region_ext region;
-          (* Finals are only stored by the owning block: restrict the
-             swept region to the tile up front — at points outside it the
-             old per-point [owned] test made the statement a no-op. *)
+          (* Finals (and self-dependent updates, whose re-execution is
+             not idempotent) are only stored by the owning block:
+             restrict the swept region to the tile up front — at points
+             outside it the old per-point [owned] test made the
+             statement a no-op. *)
           if is_final then
             for d = 0 to rank - 1 do
               let lo, hi = region.(d) and tlo, thi = tile.(d) in
               region.(d) <- (max lo tlo, min hi thi)
             done;
-          match split with
-          | Some (ss, row) ->
+          match sx.Eval.sx_class with
+          | Eval.Sc_split ss ->
             Region.sweep ~point ~region
               ~interior:(Eval.split_interior ss region)
-              ~guarded ~row ()
-          | None -> Region.sweep_guarded ~point ~region guarded)
+              ~guarded:sx.sx_guarded ~row:sx.sx_row ()
+          | Eval.Sc_wavefront (ss, _) ->
+            let sweeper, vec =
+              match wavefront with Some wf -> wf | None -> assert false
+            in
+            Wavefront.sweep sweeper ~region
+              ~interior:(Eval.split_interior ss region)
+              ~vec
+          | Eval.Sc_guarded ->
+            Region.sweep_guarded ~point ~region sx.sx_guarded)
         compiled_stmts
   in
   (* Global intermediates: redundant halo stores mean later blocks rewrite
@@ -236,7 +260,9 @@ let run (plan : Plan.t) (store : Reference.store) ~scalars =
       [ ("kernel", Json.Str k.kname); ("executor", Json.Str "blocks");
         ("split", Json.Bool (Eval.split_enabled ()));
         ("interior_points", Json.Float tally.t_interior);
-        ("halo_points", Json.Float tally.t_halo) ]
+        ("halo_points", Json.Float tally.t_halo);
+        ("wavefront_points", Json.Float tally.t_wavefront);
+        ("guarded_points", Json.Float tally.t_guarded) ]
   end
   else launch 0;
   Traffic.total_counters ctx

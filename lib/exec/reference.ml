@@ -90,27 +90,27 @@ let run_kernel (store : store) ~scalars (k : I.kernel) =
   let point = Array.make (max rank 1) 0 in
   let identity_idx = List.map (fun it -> A.index ~iter:it 0) k.iters in
   let sweep_stmt ~accum target idx e =
-    let coords_at = Eval.compile_coords binder idx in
-    let c = Eval.compile binder e in
-    let guarded p =
-      let w = coords_at p in
-      if Grid.in_bounds target w && c.Eval.cguard p then
-        if accum then Grid.set target w (Grid.get target w +. c.cvalue p)
-        else Grid.set target w (c.cvalue p)
-    in
-    let split =
-      if Eval.split_enabled () then Eval.compile_split binder ~target idx e
-      else None
-    in
-    match split with
-    | Some ss ->
-      let row =
-        if accum then Eval.run_row_accum ss else Eval.run_row_assign ss
-      in
+    let make () = Eval.compile_stmt binder ~target ~accum idx e in
+    let sx = make () in
+    match sx.Eval.sx_class with
+    | Eval.Sc_split ss ->
       Region.sweep ~point ~region:domain_box
         ~interior:(Eval.split_interior ss domain_box)
-        ~guarded ~row ()
-    | None -> Region.sweep_guarded ~point ~region:domain_box guarded
+        ~guarded:sx.sx_guarded ~row:sx.sx_row ()
+    | Eval.Sc_wavefront (ss, vec) ->
+      (* Rows of one wavefront are independent; each parallel band
+         compiles its own instance (the closures reuse buffers). *)
+      let make_exec () =
+        let sx = make () in
+        { Wavefront.we_guarded = sx.Eval.sx_guarded; we_row = sx.sx_row }
+      in
+      Wavefront.sweep
+        (Wavefront.sweeper ~make_exec)
+        ~region:domain_box
+        ~interior:(Eval.split_interior ss domain_box)
+        ~vec
+    | Eval.Sc_guarded ->
+      Region.sweep_guarded ~point ~region:domain_box sx.sx_guarded
   in
   let run_sweep stmt =
     match stmt with
@@ -130,7 +130,9 @@ let run_kernel (store : store) ~scalars (k : I.kernel) =
       [ ("kernel", Json.Str k.kname); ("executor", Json.Str "reference");
         ("split", Json.Bool (Eval.split_enabled ()));
         ("interior_points", Json.Float tally.t_interior);
-        ("halo_points", Json.Float tally.t_halo) ]
+        ("halo_points", Json.Float tally.t_halo);
+        ("wavefront_points", Json.Float tally.t_wavefront);
+        ("guarded_points", Json.Float tally.t_guarded) ]
   end
   else List.iter run_sweep k.body
 

@@ -118,8 +118,15 @@ let iter_rows ?point (b : box) f =
 
 let m_interior = Metrics.counter "exec.interior_points"
 let m_halo = Metrics.counter "exec.halo_points"
+let m_wavefront = Metrics.counter "exec.wavefront_points"
+let m_guarded = Metrics.counter "exec.guarded_points"
 
-type tally = { mutable t_interior : float; mutable t_halo : float }
+type tally = {
+  mutable t_interior : float;
+  mutable t_halo : float;
+  mutable t_wavefront : float;
+  mutable t_guarded : float;
+}
 
 (* Per-domain scoped tally: the global counters aggregate every launch
    on every domain, so a caller wanting one launch's split (the journal's
@@ -140,10 +147,16 @@ let charge_interior =
 
 let charge_halo = charge m_halo (fun t n -> t.t_halo <- t.t_halo +. n)
 
+let charge_wavefront =
+  charge m_wavefront (fun t n -> t.t_wavefront <- t.t_wavefront +. n)
+
+let charge_guarded =
+  charge m_guarded (fun t n -> t.t_guarded <- t.t_guarded +. n)
+
 let with_tally f =
   let slot = Domain.DLS.get tally_slot in
   let saved = !slot in
-  let t = { t_interior = 0.0; t_halo = 0.0 } in
+  let t = { t_interior = 0.0; t_halo = 0.0; t_wavefront = 0.0; t_guarded = 0.0 } in
   slot := Some t;
   Fun.protect
     ~finally:(fun () -> slot := saved)
@@ -152,10 +165,11 @@ let with_tally f =
       (v, t))
 
 (** Guarded fallback sweep over a whole region (no interior carved out),
-    charged to [exec.halo_points]. *)
+    charged to [exec.guarded_points] so [artemisc explain] reports the
+    fallback path distinctly from boundary shells. *)
 let sweep_guarded ?point ~(region : box) guarded =
   iter_points ?point region guarded;
-  charge_halo (float_of_int (volume region))
+  charge_guarded (float_of_int (volume region))
 
 (** Sweep [region] as [interior] rows (the unguarded fast path) plus
     boundary shells on the guarded per-point path.  [interior] must be a

@@ -40,9 +40,15 @@ val iter_points : ?point:int array -> box -> (int array -> unit) -> unit
     the row's low bound; a reused buffer) and the row length [n]. *)
 val iter_rows : ?point:int array -> box -> (int array -> int -> unit) -> unit
 
-(** One scope's interior/halo point counts, as accumulated by
-    {!with_tally}. *)
-type tally = { mutable t_interior : float; mutable t_halo : float }
+(** One scope's point counts per execution class, as accumulated by
+    {!with_tally}: split interior rows, guarded boundary shells,
+    wavefront flat row segments, and whole-region guarded fallbacks. *)
+type tally = {
+  mutable t_interior : float;
+  mutable t_halo : float;
+  mutable t_wavefront : float;
+  mutable t_guarded : float;
+}
 
 (** [with_tally f] runs [f] with a fresh per-domain tally installed and
     returns its result paired with the points the sweeps below [f]
@@ -52,8 +58,18 @@ type tally = { mutable t_interior : float; mutable t_halo : float }
     added to the outer one. *)
 val with_tally : (unit -> 'a) -> 'a * tally
 
+(** Charge [n] points to [exec.wavefront_points] (flat row segments run
+    inside a wavefront) / [exec.halo_points] on the current domain's
+    tally scope.  Exposed for the {!Wavefront} driver, which accounts
+    its points centrally on the calling domain so parallel bands stay
+    byte-identical to the serial sweep. *)
+val charge_wavefront : float -> unit
+
+val charge_halo : float -> unit
+
 (** Guarded fallback sweep over a whole region (no interior carved out),
-    charged to the [exec.halo_points] counter. *)
+    charged to the [exec.guarded_points] counter — the dependent-stencil
+    fallback path, reported distinctly from boundary shells. *)
 val sweep_guarded : ?point:int array -> region:box -> (int array -> unit) -> unit
 
 (** Sweep [region] as [interior] rows (the unguarded fast path, [row])

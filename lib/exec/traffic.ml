@@ -67,6 +67,11 @@ type ctx = {
   stmts : stmt_info list;
   fold_stage_flops : (string * int) list;  (** leader array -> ops per staged elem *)
   concurrent_blocks : int;
+  serial_waves : int;
+      (** launch phases forced by self-dependences: 1 = fully independent
+          blocks; a dependence along a grid dimension serializes the
+          block grid into that many wavefront phases (same bytes/flops,
+          reduced parallelism per phase) *)
   strides : (string * int array) list;  (** row-major strides per array *)
 }
 
@@ -190,8 +195,36 @@ let make_ctx (p : Plan.t) =
   let concurrent_blocks =
     min geom.total_blocks (max 1 (res.occupancy.blocks_per_sm * p.device.sms))
   in
+  (* Self-dependent statements serialize the block grid along every
+     dimension a dependence distance moves through: blocks on the same
+     anti-diagonal can still run together, so the launch decomposes into
+     [1 + sum (grid_d - 1)] wavefront phases over the dependent
+     dimensions.  Bytes and flops are unchanged — only parallelism per
+     phase drops (Timing's wavefront kernel class). *)
+  let serial_waves =
+    let dep_dims = Array.make (max rank 1) false in
+    List.iter
+      (fun stmt ->
+        match Wavefront.stmt_self_deps ~iters:k.iters stmt with
+        | Wavefront.No_dep -> ()
+        | Wavefront.Non_uniform -> Array.fill dep_dims 0 rank true
+        | Wavefront.Uniform deltas ->
+          List.iter
+            (fun delta ->
+              Array.iteri
+                (fun d c -> if c <> 0 && d < rank then dep_dims.(d) <- true)
+                delta)
+            deltas)
+      k.body;
+    let waves = ref 1 in
+    for d = 0 to rank - 1 do
+      if dep_dims.(d) then waves := !waves + (geom.grid.(d) - 1)
+    done;
+    !waves
+  in
   {
     plan = p; geom; bufs; res; stmts; fold_stage_flops; concurrent_blocks;
+    serial_waves;
     strides = List.map (fun (a, dims) -> (a, strides_of dims)) k.arrays;
   }
 

@@ -42,6 +42,11 @@ type ctx = {
   stmts : stmt_info list;
   fold_stage_flops : (string * int) list;
   concurrent_blocks : int;
+  serial_waves : int;
+      (** launch phases forced by self-dependences ([Wavefront]): 1 =
+          fully independent blocks; a dependence along a grid dimension
+          serializes the block grid into anti-diagonal phases — same
+          bytes and flops, reduced parallelism per phase *)
   strides : (string * int array) list;
 }
 

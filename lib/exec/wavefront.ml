@@ -1,0 +1,376 @@
+(* Wavefront (hyperplane) scheduling for uniform self-dependent
+   statements — the Gauss-Seidel/SOR class the split executor used to
+   surrender to the guarded per-point path.
+
+   A statement that reads its own output array at constant offsets has a
+   uniform dependence: iteration [p] depends on iteration [p + delta]
+   for each read-offset-minus-write-offset vector [delta].  Treating
+   each innermost-dimension row as a macro-node, only the outer
+   components [delta'] of those vectors order rows; dependences with
+   [delta' = 0] stay inside a row, where the flat-index inner loop
+   already executes points in increasing innermost order — exactly the
+   reference's lexicographic semantics (a backward in-row read sees the
+   freshly written value, a forward one the old value, bit for bit).
+
+   A hyperplane vector [vec] over the outer dimensions is legal when for
+   every outer dependence [delta' <> 0]
+
+     sign (vec . delta') = lexicographic sign of delta'
+
+   so ordering rows by wavefront number [vec . outer] preserves every
+   dependence while rows sharing a wavefront are mutually independent —
+   they can run in parallel, and the unguarded flat row loop runs inside
+   each of them.  For uniform dependences a legal hyperplane always
+   exists: with [B = 2 + max |component|], the base-B vector
+   [vec_d = B^(m-1-d)] makes [vec . delta'] take the sign of the first
+   nonzero component of [delta'], which is its lexicographic sign.  The
+   search below prefers small balanced vectors (more rows per wavefront)
+   and keeps the base-B vector as the guaranteed fallback. *)
+
+module A = Artemis_dsl.Ast
+module Pool = Artemis_par.Pool
+
+(* ------------------------------------------------------------------ *)
+(* Dependence extraction                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Iteration-space distance of a read from the write of the same array,
+    given both access specs (per array dimension: iteration dim, shift;
+    dim [-1] is a constant index).  [`No_alias] means the two accesses
+    can never touch the same cell (disjoint constant slices, or
+    inconsistent offsets on a repeated iterator); [`Non_uniform] means
+    the dependence distance varies with position (the read indexes some
+    array dimension by a different iterator than the write), which no
+    constant hyperplane can schedule. *)
+let delta_of_specs ~rank ~(wspec : (int * int) array) ~(rspec : (int * int) array) =
+  if Array.length wspec <> Array.length rspec then `Non_uniform
+  else begin
+    let delta = Array.make rank None in
+    let verdict = ref `Ok in
+    Array.iteri
+      (fun d (wdim, wshift) ->
+        let rdim, rshift = rspec.(d) in
+        if !verdict = `Ok then
+          if wdim <> rdim then verdict := `Non_uniform
+          else if wdim < 0 then begin
+            (* constant slice: different constants never alias *)
+            if wshift <> rshift then verdict := `No_alias
+          end
+          else begin
+            let v = rshift - wshift in
+            match delta.(wdim) with
+            | None -> delta.(wdim) <- Some v
+            | Some v' -> if v <> v' then verdict := `No_alias
+          end)
+      wspec;
+    match !verdict with
+    | `Non_uniform -> `Non_uniform
+    | `No_alias -> `No_alias
+    | `Ok -> `Delta (Array.map (function Some v -> v | None -> 0) delta)
+  end
+
+let lex_sign (v : int array) =
+  let s = ref 0 in
+  Array.iter (fun c -> if !s = 0 && c <> 0 then s := compare c 0) v;
+  !s
+
+let all_zero v = Array.for_all (fun c -> c = 0) v
+
+let sign f = compare f 0
+
+let dot (a : int array) (b : int array) =
+  let s = ref 0 in
+  Array.iteri (fun i x -> s := !s + (x * b.(i))) a;
+  !s
+
+(** Outer (row-ordering) components of the full-rank deltas: the last
+    dimension is the innermost iterator, handled by in-row order. *)
+let outer_deps ~rank deltas =
+  let m = max 0 (rank - 1) in
+  List.filter_map
+    (fun d ->
+      let d' = Array.sub d 0 m in
+      if all_zero d' then None else Some d')
+    deltas
+
+let legal ~vec deps' =
+  List.for_all (fun d' -> sign (dot vec d') = lex_sign d') deps'
+
+(** A legal hyperplane over the outer dimensions for the given full-rank
+    dependence distances, or [None] when no constant hyperplane orders
+    them (cannot happen for a uniform cone — the base-B fallback is
+    always legal — but callers stay defensive).  Candidates are searched
+    smallest-sum first so balanced vectors (widest wavefronts, most row
+    parallelism) win; the all-zero vector comes back when every
+    dependence is intra-row, putting all rows in one wavefront. *)
+let hyperplane ~rank deltas =
+  let m = max 0 (rank - 1) in
+  let deps' = outer_deps ~rank deltas in
+  if deps' = [] then Some (Array.make m 0)
+  else begin
+    let candidates = ref [] in
+    let vec = Array.make m 0 in
+    let rec enum d =
+      if d = m then candidates := Array.copy vec :: !candidates
+      else
+        for c = 0 to 3 do
+          vec.(d) <- c;
+          enum (d + 1)
+        done
+    in
+    enum 0;
+    let sum v = Array.fold_left ( + ) 0 v in
+    let sorted =
+      List.sort
+        (fun a b ->
+          match compare (sum a) (sum b) with 0 -> compare a b | c -> c)
+        !candidates
+    in
+    match List.find_opt (fun v -> legal ~vec:v deps') sorted with
+    | Some v -> Some v
+    | None ->
+      let base =
+        2 + List.fold_left
+              (fun acc d' -> Array.fold_left (fun a c -> max a (abs c)) acc d')
+              0 deps'
+      in
+      let fallback =
+        Array.init m (fun d ->
+            let rec pow b n = if n = 0 then 1 else b * pow b (n - 1) in
+            pow base (m - 1 - d))
+      in
+      if legal ~vec:fallback deps' then Some fallback else None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* AST-level self-dependence analysis                                  *)
+(* ------------------------------------------------------------------ *)
+
+type self_dep =
+  | No_dep  (** no self-aliased read, or identity/disjoint reads only *)
+  | Uniform of int array list  (** constant nonzero dependence distances *)
+  | Non_uniform
+      (** position-dependent self-dependence: no constant hyperplane *)
+
+(** Name-based self-dependence classification of one statement, the
+    static mirror of what the executors detect on physical grids (used
+    by [Traffic]'s wavefront kernel class and the linter).  [Uniform]
+    distances are read-point minus write-point in iteration space. *)
+let stmt_self_deps ~(iters : string list) (st : A.stmt) =
+  match st with
+  | A.Decl_temp _ -> No_dep
+  | A.Assign (a, widx, e) | A.Accum (a, widx, e) ->
+    let rank = List.length iters in
+    let dim_of it =
+      let rec find i = function
+        | [] -> -1
+        | x :: _ when String.equal x it -> i
+        | _ :: rest -> find (i + 1) rest
+      in
+      find 0 iters
+    in
+    let spec idx =
+      Array.of_list
+        (List.map
+           (fun (i : A.index) ->
+             match i.A.iter with
+             | None -> (-1, i.shift)
+             | Some it -> (dim_of it, i.shift))
+           idx)
+    in
+    let wspec = spec widx in
+    let self_reads =
+      List.filter_map
+        (fun (a', idx) -> if String.equal a a' then Some (spec idx) else None)
+        (A.reads_of_expr e)
+    in
+    if self_reads = [] then No_dep
+    else begin
+      let covered = Array.make (max rank 1) false in
+      Array.iter (fun (dim, _) -> if dim >= 0 then covered.(dim) <- true) wspec;
+      let all_covered =
+        rank = 0 || Array.for_all Fun.id (Array.sub covered 0 rank)
+      in
+      if not all_covered then
+        (* Multiple iterations write each cell: identity reads are the
+           order-independent split case, anything else has no schedule. *)
+        if List.for_all (fun r -> r = wspec) self_reads then No_dep
+        else Non_uniform
+      else begin
+        let deltas = ref [] in
+        let non_uniform = ref false in
+        List.iter
+          (fun rspec ->
+            match delta_of_specs ~rank ~wspec ~rspec with
+            | `Non_uniform -> non_uniform := true
+            | `No_alias -> ()
+            | `Delta d -> if not (all_zero d) then deltas := d :: !deltas)
+          self_reads;
+        if !non_uniform then Non_uniform
+        else if !deltas = [] then No_dep
+        else Uniform (List.rev !deltas)
+      end
+    end
+
+(** True when every dependence distance is componentwise same-signed
+    (all [<= 0] or all [>= 0]).  Only then does the block executor's
+    tile-lexicographic traversal agree with the reference's point-
+    lexicographic order, so mixed-sign cones are flagged by lint (A602)
+    even though they are formally uniform. *)
+let block_order_compatible deltas =
+  List.for_all
+    (fun d ->
+      Array.for_all (fun c -> c <= 0) d || Array.for_all (fun c -> c >= 0) d)
+    deltas
+
+(* ------------------------------------------------------------------ *)
+(* Wavefront sweep driver                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** One executor instance for the sweep: compiled closures own mutable
+    coordinate/base buffers, so rows running concurrently must each use
+    their own instance — the [sweeper] grows a pool of them on demand. *)
+type exec = {
+  we_guarded : int array -> unit;  (** guarded per-point body *)
+  we_row : int array -> int -> unit;  (** unguarded flat row body *)
+}
+
+type sweeper = {
+  sw_make : unit -> exec;
+  mutable sw_insts : exec array;
+}
+
+let sweeper ~make_exec = { sw_make = make_exec; sw_insts = [||] }
+
+let instances sw n =
+  let have = Array.length sw.sw_insts in
+  if have < n then
+    sw.sw_insts <-
+      Array.init n (fun i -> if i < have then sw.sw_insts.(i) else sw.sw_make ());
+  sw.sw_insts
+
+(** All innermost rows of [region] grouped into wavefronts by
+    [vec . outer]: [f w rows] is called once per non-empty wavefront in
+    increasing [w], with the rows (their outer coordinates) in
+    lexicographic order.  [vec] components must be non-negative. *)
+let iter_wavefronts ~(region : Region.box) ~(vec : int array) f =
+  if not (Region.is_empty region) then begin
+    let rank = Array.length region in
+    let m = rank - 1 in
+    let wmax =
+      let s = ref 0 in
+      Array.iteri (fun d v -> s := !s + (v * (snd region.(d) - fst region.(d)))) vec;
+      !s
+    in
+    let buckets = Array.make (wmax + 1) [] in
+    let outer = Array.init m (fun d -> region.(d)) in
+    Region.iter_points outer (fun o ->
+        let w = ref 0 in
+        Array.iteri (fun d v -> w := !w + (v * (o.(d) - fst region.(d)))) vec;
+        buckets.(!w) <- Array.copy o :: buckets.(!w));
+    Array.iteri
+      (fun w rows ->
+        match rows with
+        | [] -> ()
+        | rows -> f w (Array.of_list (List.rev rows)))
+      buckets
+  end
+
+(* Run one row: guarded prefix, flat in-bounds middle, guarded suffix —
+   strictly increasing innermost coordinate, the reference's own in-row
+   order, so intra-row dependences behave identically. *)
+let run_row ~(region : Region.box) ~(interior : Region.box) (ex : exec)
+    (o : int array) =
+  let rank = Array.length region in
+  let m = rank - 1 in
+  let point = Array.make rank 0 in
+  Array.blit o 0 point 0 m;
+  let jlo, jhi = region.(m) in
+  let in_interior =
+    let ok = ref (not (Region.is_empty interior)) in
+    for d = 0 to m - 1 do
+      let lo, hi = interior.(d) in
+      if o.(d) < lo || o.(d) > hi then ok := false
+    done;
+    !ok
+  in
+  let flo, fhi =
+    if in_interior then
+      let ilo, ihi = interior.(m) in
+      (max jlo ilo, min jhi ihi)
+    else (jlo, jlo - 1)
+  in
+  if fhi < flo then
+    for j = jlo to jhi do
+      point.(m) <- j;
+      ex.we_guarded point
+    done
+  else begin
+    for j = jlo to flo - 1 do
+      point.(m) <- j;
+      ex.we_guarded point
+    done;
+    point.(m) <- flo;
+    ex.we_row point (fhi - flo + 1);
+    for j = fhi + 1 to jhi do
+      point.(m) <- j;
+      ex.we_guarded point
+    done
+  end
+
+(* Flat points of one row — for charging the counters deterministically
+   on the calling domain, independent of how rows are banded. *)
+let flat_len ~(region : Region.box) ~(interior : Region.box) (o : int array) =
+  let m = Array.length region - 1 in
+  if Region.is_empty interior then 0
+  else begin
+    let ok = ref true in
+    for d = 0 to m - 1 do
+      let lo, hi = interior.(d) in
+      if o.(d) < lo || o.(d) > hi then ok := false
+    done;
+    if not !ok then 0
+    else begin
+      let jlo, jhi = region.(m) in
+      let ilo, ihi = interior.(m) in
+      max 0 (min jhi ihi - max jlo ilo + 1)
+    end
+  end
+
+(* Rows of one wavefront are mutually independent, so wide wavefronts
+   fan out across the pool in contiguous bands (each band on its own
+   executor instance); values are band-independent and the counters are
+   charged here on the calling domain, so jobs=N stays byte-identical
+   to jobs=1. *)
+let min_parallel_rows = 4
+
+let sweep (sw : sweeper) ~(region : Region.box) ~(interior : Region.box)
+    ~(vec : int array) =
+  if not (Region.is_empty region) then begin
+    let flat_total = ref 0 in
+    iter_wavefronts ~region ~vec (fun _w rows ->
+        let nrows = Array.length rows in
+        Array.iter (fun o -> flat_total := !flat_total + flat_len ~region ~interior o) rows;
+        let par = Pool.parallelism () in
+        if par > 1 && nrows >= min_parallel_rows then begin
+          let bands = min par nrows in
+          let execs = instances sw bands in
+          let chunk = (nrows + bands - 1) / bands in
+          ignore
+            (Pool.map ~label:"exec.wavefront_band"
+               (fun b ->
+                 let ex = execs.(b) in
+                 let lo = b * chunk and hi = min nrows ((b + 1) * chunk) in
+                 for r = lo to hi - 1 do
+                   run_row ~region ~interior ex rows.(r)
+                 done)
+               (List.init bands Fun.id))
+        end
+        else begin
+          let ex = (instances sw 1).(0) in
+          Array.iter (fun o -> run_row ~region ~interior ex o) rows
+        end);
+    let total = Region.volume region in
+    Region.charge_wavefront (float_of_int !flat_total);
+    Region.charge_halo (float_of_int (total - !flat_total))
+  end

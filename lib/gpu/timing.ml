@@ -21,6 +21,7 @@ type breakdown = {
   t_tex : float;
   t_shm : float;
   t_sync : float;
+  t_wave : float;  (** wavefront phase-transition overhead, seconds *)
   t_total : float;  (** seconds *)
   utilization_lat : float;  (** latency-hiding factor in [0, 1] *)
   bottleneck : bound;
@@ -32,6 +33,7 @@ and bound =
   | Tex_bound
   | Shm_bound
   | Latency_bound
+  | Wavefront_bound
 
 let bound_to_string = function
   | Compute_bound -> "compute"
@@ -39,6 +41,7 @@ let bound_to_string = function
   | Tex_bound -> "texture/L2 bandwidth"
   | Shm_bound -> "shared-memory bandwidth"
   | Latency_bound -> "latency"
+  | Wavefront_bound -> "wavefront serialization"
 
 type workload = {
   counters : Counters.t;
@@ -47,7 +50,16 @@ type workload = {
   blocks : int;  (** total thread blocks launched *)
   threads_per_block : int;
   prefetch : bool;  (** load/compute overlap enabled (Section III-A4) *)
+  serial_waves : int;
+      (** dependence-forced launch phases (wavefront kernel class):
+          1 = fully independent blocks; bytes/flops unchanged, but only
+          one phase's blocks run concurrently and each phase transition
+          costs a device round trip *)
 }
+
+(* Cost of one wavefront phase transition: a grid-wide dependence fence,
+   about a kernel-launch latency. *)
+let wave_latency_s = 2.0e-6
 
 (* Cost of one __syncthreads in cycles: barrier latency plus re-convergence,
    mildly increasing with warps per block. *)
@@ -77,15 +89,34 @@ let memory_utilization (occ : Occupancy.result) =
     reflect load/compute overlap. *)
 let evaluate (d : Device.t) (w : workload) =
   let c = w.counters in
-  let u_lat = latency_utilization d w.occupancy ~ilp:w.ilp in
-  let u_mem = memory_utilization w.occupancy in
-  if u_lat = 0.0 || u_mem = 0.0 then
+  let u_lat0 = latency_utilization d w.occupancy ~ilp:w.ilp in
+  let u_mem0 = memory_utilization w.occupancy in
+  if u_lat0 = 0.0 || u_mem0 = 0.0 then
     {
       t_compute = infinity; t_dram = infinity; t_tex = infinity; t_shm = infinity;
-      t_sync = infinity; t_total = infinity; utilization_lat = 0.0;
-      bottleneck = Latency_bound;
+      t_sync = infinity; t_wave = infinity; t_total = infinity;
+      utilization_lat = 0.0; bottleneck = Latency_bound;
     }
   else begin
+    let concurrent_blocks =
+      max 1 (w.occupancy.blocks_per_sm * d.sms)
+    in
+    (* Wavefront kernel class: the block grid decomposes into dependence
+       phases; only one phase's blocks are in flight at a time, so when a
+       phase holds fewer blocks than the device could run concurrently
+       every pipe's achievable utilization drops proportionally — same
+       bytes and flops, less parallelism to hide them with. *)
+    let phases = max 1 (min w.serial_waves (max 1 w.blocks)) in
+    let blocks_per_phase = (w.blocks + phases - 1) / phases in
+    let f_par =
+      if phases = 1 then 1.0
+      else
+        Float.min 1.0
+          (float_of_int (max 1 blocks_per_phase)
+          /. float_of_int concurrent_blocks)
+    in
+    let u_lat = u_lat0 *. f_par in
+    let u_mem = u_mem0 *. f_par in
     let t_compute_raw = c.total_flops /. d.peak_dp_flops in
     let t_compute = t_compute_raw /. u_lat in
     let t_dram = (c.dram_bytes +. c.spill_bytes) /. (d.dram_bw *. u_mem) in
@@ -93,11 +124,11 @@ let evaluate (d : Device.t) (w : workload) =
     let t_shm = c.shm_bytes /. (d.shm_bw *. u_lat) in
     (* Synchronization: barriers serialize warps within a block; concurrent
        blocks on an SM overlap each other's stalls.  Waves = launches of
-       blocks_per_sm x sms blocks. *)
-    let concurrent_blocks =
-      max 1 (w.occupancy.blocks_per_sm * d.sms)
+       blocks_per_sm x sms blocks, per dependence phase. *)
+    let waves =
+      float_of_int phases
+      *. ceil (float_of_int blocks_per_phase /. float_of_int concurrent_blocks)
     in
-    let waves = ceil (float_of_int w.blocks /. float_of_int concurrent_blocks) in
     let syncs_per_block =
       if w.blocks = 0 then 0.0 else c.syncs /. float_of_int w.blocks
     in
@@ -108,6 +139,7 @@ let evaluate (d : Device.t) (w : workload) =
       *. stall_discount
       /. (d.clock_ghz *. 1e9)
     in
+    let t_wave = float_of_int (phases - 1) *. wave_latency_s in
     let pipe_times =
       [ (t_compute, Compute_bound); (t_dram, Dram_bound); (t_tex, Tex_bound);
         (t_shm, Shm_bound) ]
@@ -120,15 +152,20 @@ let evaluate (d : Device.t) (w : workload) =
     let bottleneck =
       (* If the binding pipe only binds because of poor latency hiding
          (the raw pipe time would not bind), the kernel is latency-bound,
-         matching the paper's third category. *)
-      match which with
-      | Compute_bound when u_lat < 0.95 && t_compute_raw < t_dram && t_compute_raw < t_tex
-        -> Latency_bound
-      | b -> b
+         matching the paper's third category.  When the phase-transition
+         overhead itself dominates every pipe, the kernel is wavefront
+         bound — serialization, not any resource, sets the clock. *)
+      if t_wave > t_max then Wavefront_bound
+      else
+        match which with
+        | Compute_bound
+          when u_lat < 0.95 && t_compute_raw < t_dram && t_compute_raw < t_tex
+          -> Latency_bound
+        | b -> b
     in
-    let t_total = t_max +. t_sync in
+    let t_total = t_max +. t_sync +. t_wave in
     {
-      t_compute; t_dram; t_tex; t_shm; t_sync; t_total;
+      t_compute; t_dram; t_tex; t_shm; t_sync; t_wave; t_total;
       utilization_lat = u_lat; bottleneck;
     }
   end
@@ -141,7 +178,7 @@ let tflops (w : workload) (b : breakdown) =
 
 let pp fmt b =
   Format.fprintf fmt
-    "total %.3e s (compute %.2e, dram %.2e, tex %.2e, shm %.2e, sync %.2e) — %s bound, \
-     u_lat %.2f"
-    b.t_total b.t_compute b.t_dram b.t_tex b.t_shm b.t_sync
+    "total %.3e s (compute %.2e, dram %.2e, tex %.2e, shm %.2e, sync %.2e, wave %.2e) — \
+     %s bound, u_lat %.2f"
+    b.t_total b.t_compute b.t_dram b.t_tex b.t_shm b.t_sync b.t_wave
     (bound_to_string b.bottleneck) b.utilization_lat

@@ -13,6 +13,7 @@ type breakdown = {
   t_tex : float;
   t_shm : float;
   t_sync : float;
+  t_wave : float;  (** wavefront phase-transition overhead, seconds *)
   t_total : float;  (** seconds *)
   utilization_lat : float;  (** latency-hiding factor in [0, 1] *)
   bottleneck : bound;
@@ -24,6 +25,8 @@ and bound =
   | Tex_bound
   | Shm_bound
   | Latency_bound
+  | Wavefront_bound
+      (** dependence-phase serialization dominates every resource pipe *)
 
 val bound_to_string : bound -> string
 
@@ -35,6 +38,11 @@ type workload = {
   blocks : int;  (** total thread blocks launched *)
   threads_per_block : int;
   prefetch : bool;  (** load/compute overlap enabled (Section III-A4) *)
+  serial_waves : int;
+      (** dependence-forced launch phases (wavefront kernel class): 1 =
+          fully independent blocks; same bytes/flops, but only one
+          phase's blocks run concurrently and each phase transition
+          costs a device round trip *)
 }
 
 (** Cost of one [__syncthreads] in cycles for a block of the given size. *)

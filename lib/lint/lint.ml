@@ -20,6 +20,7 @@ module Occupancy = Artemis_gpu.Occupancy
 module Coalesce = Artemis_gpu.Coalesce
 module Json = Artemis_obs.Json
 module Metrics = Artemis_obs.Metrics
+module W = Artemis_exec.Wavefront
 
 type severity =
   | Error
@@ -79,7 +80,13 @@ let catalog =
     ("A404", Info, "achieved occupancy below the pragma target");
     ("A405", Error, "plan violates a device launch limit");
     ("A501", Warning, "uncoalesced global reads along the fastest thread dimension");
-    ("A502", Warning, "bank-conflict-prone shared-memory row width") ]
+    ("A502", Warning, "bank-conflict-prone shared-memory row width");
+    ("A601", Info,
+     "statement carries a uniform self-dependence and executes via the \
+      wavefront schedule");
+    ("A602", Error,
+     "self-dependence admits no hyperplane compatible with the executors' \
+      sweep orders: results depend on traversal order") ]
 
 (* ------------------------------------------------------------------ *)
 (* Finding sink: ordered, deduplicated, counted.                       *)
@@ -273,12 +280,68 @@ let intrinsic_lints s (k : I.kernel) =
       | A.Decl_temp (_, e) | A.Assign (_, _, e) | A.Accum (_, _, e) -> walk e)
     k.body
 
+(* A601/A602: self-dependence schedulability, the static mirror of the
+   executors' wavefront classification ([Wavefront.stmt_self_deps]).  A
+   uniform cone whose distances are componentwise same-signed is handled
+   by the wavefront schedule (Info); a position-dependent distance, or a
+   mixed-sign cone (legal for the reference's point-lexicographic sweep
+   but not for the block executor's tile order), has no hyperplane every
+   executor can honour, so results depend on traversal order (Error). *)
+let wavefront_lints s (k : I.kernel) =
+  let loc = "kernel " ^ k.kname in
+  let rank = Array.length k.domain in
+  List.iteri
+    (fun n st ->
+      let target = match st with
+        | A.Assign (a, _, _) | A.Accum (a, _, _) -> a
+        | A.Decl_temp (t, _) -> t
+      in
+      match W.stmt_self_deps ~iters:k.iters st with
+      | W.No_dep -> ()
+      | W.Uniform deltas when W.block_order_compatible deltas -> (
+        match W.hyperplane ~rank deltas with
+        | Some vec ->
+          emit s ~code:"A601" ~severity:Info ~phase:Dsl ~location:loc
+            ~hint:
+              "wavefronts preserve the sequential order bit for bit at \
+               reduced parallelism; use distinct input/output buffers \
+               (iterate/swap) for a fully parallel sweep"
+            (Printf.sprintf
+               "statement %d (writes %s) executes via the wavefront schedule, \
+                hyperplane (%s)"
+               n target
+               (String.concat ", "
+                  (List.map string_of_int (Array.to_list vec))))
+        | None ->
+          emit s ~code:"A602" ~severity:Error ~phase:Dsl ~location:loc
+            ~hint:"break the self-dependence with distinct input/output buffers"
+            (Printf.sprintf
+               "statement %d (writes %s): dependence cone admits no legal \
+                hyperplane"
+               n target))
+      | W.Uniform _ ->
+        emit s ~code:"A602" ~severity:Error ~phase:Dsl ~location:loc
+          ~hint:"break the self-dependence with distinct input/output buffers"
+          (Printf.sprintf
+             "statement %d (writes %s): mixed-sign self-dependence has no \
+              hyperplane compatible with the executors' sweep orders"
+             n target)
+      | W.Non_uniform ->
+        emit s ~code:"A602" ~severity:Error ~phase:Dsl ~location:loc
+          ~hint:"break the self-dependence with distinct input/output buffers"
+          (Printf.sprintf
+             "statement %d (writes %s): position-dependent self-dependence \
+              has no constant hyperplane"
+             n target))
+    k.body
+
 let lint_kernel k =
   let s = sink () in
   bounds_lints s k;
   fusion_lints s k;
   dead_statement_lints s k;
   intrinsic_lints s k;
+  wavefront_lints s k;
   drain s
 
 (* ------------------------------------------------------------------ *)
@@ -490,7 +553,8 @@ let lint_program (prog : A.program) =
     (fun k ->
       bounds_lints s k;
       fusion_lints s k;
-      dead_statement_lints s k)
+      dead_statement_lints s k;
+      wavefront_lints s k)
     (kernels_of_schedule sched);
   drain s
 

@@ -213,15 +213,22 @@ let exec_section events =
             List.length (List.filter (fun ev -> bool_opt "split" ev = Some true) evs)
           in
           let interior = sum "interior_points" and halo = sum "halo_points" in
-          let total = interior +. halo in
+          let wavefront = sum "wavefront_points" and guarded = sum "guarded_points" in
+          let total = interior +. halo +. wavefront +. guarded in
+          (* Unguarded fast-path fraction: interior rows plus the flat
+             segments inside wavefront rows; halo shells and the
+             whole-region guarded fallback pay the per-point guard. *)
+          let fast = interior +. wavefront in
           Json.Obj
             [ ("kernel", Json.Str kernel); ("executor", Json.Str executor);
               ("launches", Json.Int (List.length evs));
               ("split_launches", Json.Int split_on);
               ("interior_points", Json.Float interior);
               ("halo_points", Json.Float halo);
+              ("wavefront_points", Json.Float wavefront);
+              ("guarded_points", Json.Float guarded);
               ( "interior_fraction",
-                Json.Float (if total > 0.0 then interior /. total else 0.0) ) ])
+                Json.Float (if total > 0.0 then fast /. total else 0.0) ) ])
         keys
     in
     Json.Obj
@@ -412,14 +419,19 @@ let render doc =
     Printf.bprintf b "\nexec: %g launch(es)\n" (num_or "launches" e 0.0);
     List.iter
       (fun k ->
+        let wavefront = num_or "wavefront_points" k 0.0 in
+        let guarded = num_or "guarded_points" k 0.0 in
         Printf.bprintf b
-          "  %s/%s: %g launch(es) (%g split), %s interior / %s halo points \
-           (%.1f%% interior)\n"
+          "  %s/%s: %g launch(es) (%g split), %s interior / %s halo points%s%s \
+           (%.1f%% unguarded)\n"
           (str_or "executor" k "?") (str_or "kernel" k "?")
           (num_or "launches" k 0.0)
           (num_or "split_launches" k 0.0)
           (g (num_or "interior_points" k 0.0))
           (g (num_or "halo_points" k 0.0))
+          (if wavefront > 0.0 then Printf.sprintf " / %s wavefront" (g wavefront)
+           else "")
+          (if guarded > 0.0 then Printf.sprintf " / %s guarded" (g guarded) else "")
           (100.0 *. num_or "interior_fraction" k 0.0))
       (match Option.bind (Json.member "kernels" e) Json.to_list_opt with
       | Some l -> l

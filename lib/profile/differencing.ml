@@ -44,6 +44,7 @@ let test (m : Analytic.measurement) (level : Classify.level) =
       blocks = (Artemis_ir.Launch.geometry m.plan).total_blocks;
       threads_per_block = Plan.threads_per_block m.plan;
       prefetch = m.plan.prefetch;
+      serial_waves = (Artemis_exec.Traffic.make_ctx m.plan).serial_waves;
     }
   in
   let b = Timing.evaluate m.plan.device workload in

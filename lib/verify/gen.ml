@@ -184,6 +184,78 @@ let gen_iterative rng =
   in
   (prog, false)
 
+(* A Gauss-Seidel/SOR relaxation case: one statement updating an array
+   in place from self-reads at componentwise same-sign unit distances —
+   the class the wavefront schedule executes.  Same-sign distances keep
+   the block executor's tile order equivalent to the reference's point
+   order, so oracle invariant 1 (reference vs blocks, bitwise) stays
+   pinned; invariant 4 separately re-runs these cases with the wavefront
+   schedule disabled.  Coefficient magnitudes sum below 1, so a sweep
+   contracts and no case can reach inf/NaN. *)
+let gen_seidel rng =
+  let rank = 2 + Rng.int rng 2 in
+  let iters = List.filteri (fun i _ -> i >= 3 - rank) iter_pool in
+  let params =
+    List.init rank (fun d ->
+        let v =
+          if d = rank - 1 then Rng.pick rng [ 12; 16 ]
+          else Rng.pick rng [ 7; 8; 10; 12 ]
+        in
+        (Printf.sprintf "N%d" d, v))
+  in
+  let dims = List.map (fun (n, _) -> A.Dparam n) params in
+  let forcing = Rng.chance rng 0.5 in
+  let arrays = "u0" :: (if forcing then [ "f0" ] else []) in
+  let scalars = [ "c0" ] in
+  let decls =
+    List.map (fun a -> A.Array_decl (a, dims)) arrays
+    @ List.map (fun s -> A.Scalar_decl s) scalars
+  in
+  let at off = List.map2 (fun it s -> A.index ~iter:it s) iters off in
+  let zero = List.map (fun _ -> 0) iters in
+  let axis d s = List.mapi (fun i _ -> if i = d then s else 0) iters in
+  (* Always one backward and one forward unit distance — a dependence in
+     both lexicographic directions — plus random extra axis offsets and
+     an optional all-same-sign diagonal. *)
+  let offs = ref [ axis (Rng.int rng rank) (-1); axis (Rng.int rng rank) 1 ] in
+  List.iteri
+    (fun d _ ->
+      if Rng.chance rng 0.4 then offs := axis d (-1) :: !offs;
+      if Rng.chance rng 0.4 then offs := axis d 1 :: !offs)
+    iters;
+  if Rng.chance rng 0.3 then begin
+    let s = if Rng.bool rng then 1 else -1 in
+    offs := List.map (fun _ -> s) iters :: !offs
+  end;
+  let offs = List.sort_uniq compare !offs in
+  let coeff () = A.Const (Rng.pick rng [ 0.125; 0.0625; -0.0625; 0.03125 ]) in
+  let term off = A.Bin (A.Mul, coeff (), A.Access ("u0", at off)) in
+  let rhs =
+    List.fold_left
+      (fun acc off -> A.Bin (A.Add, acc, term off))
+      (term (List.hd offs)) (List.tl offs)
+  in
+  let rhs =
+    (* Optional SOR-style diagonal term: c0 * the point's own old value. *)
+    if Rng.chance rng 0.5 then
+      A.Bin (A.Add, rhs, A.Bin (A.Mul, A.Scalar_ref "c0", A.Access ("u0", at zero)))
+    else rhs
+  in
+  let rhs =
+    if forcing then A.Bin (A.Add, rhs, A.Access ("f0", at zero)) else rhs
+  in
+  let body = [ A.Assign ("u0", at zero, rhs) ] in
+  let def, apply = make_stencil "gs" body ~array_order:arrays ~scalar_order:scalars in
+  {
+    A.params;
+    iters;
+    decls;
+    copyin = arrays @ scalars;
+    stencils = [ def ];
+    main = [ A.Run apply ];
+    copyout = [ "u0" ];
+  }
+
 (* A spatial DAG case: temporaries, optional staged intermediate array,
    1..3 final outputs with optional accumulation chains; optionally split
    into a producer/consumer two-stencil pipeline. *)
@@ -295,9 +367,17 @@ let gen_dag rng =
   (prog, n_out >= 2)
 
 let generate ~seed ~index =
+  (* Self-dependent cases draw from a forked stream so enabling them
+     left every pre-existing (seed, index) program byte-identical. *)
+  let srng = Rng.make2 (seed lxor 0x5e1de1) index in
+  let seidel = Rng.chance srng 0.22 in
   let rng = Rng.make2 seed index in
-  let iterative = Rng.chance rng 0.35 in
-  let prog, multi_output = if iterative then gen_iterative rng else gen_dag rng in
+  let iterative = (not seidel) && Rng.chance rng 0.35 in
+  let prog, multi_output =
+    if seidel then (gen_seidel srng, false)
+    else if iterative then gen_iterative rng
+    else gen_dag rng
+  in
   (* Generated programs are correct by construction; catching drift here
      (rather than downstream) keeps shrinking honest. *)
   Artemis_dsl.Check.check prog;

@@ -15,7 +15,13 @@
     - the innermost extent is a multiple of the 32-byte sector width so
       the analytic counter model's block classes are exact;
     - iterative cases keep order 1 and extents large enough that the
-      fused-vs-ping-pong comparison has a non-empty deep interior. *)
+      fused-vs-ping-pong comparison has a non-empty deep interior;
+    - self-dependent (Gauss-Seidel/SOR) cases read the written array
+      only at componentwise same-sign unit distances, so every executor
+      sweep order realizes the same dependence-respecting schedule and
+      the wavefront-vs-guarded comparison is exact.  They draw from a
+      forked RNG stream: enabling them left all other [(seed, index)]
+      programs byte-identical. *)
 
 type case = {
   index : int;  (** position in the fuzz run *)

@@ -13,6 +13,7 @@ type mismatch =
   | Counter_mismatch of { plan : string; detail : string }
   | Schedule_counter_mismatch of { detail : string }
   | Lint_error of { code : string; detail : string }
+  | Wavefront_mismatch of { executor : string; array : string; diff : float }
   | Crash of { detail : string }
 
 let mismatch_to_string = function
@@ -24,6 +25,11 @@ let mismatch_to_string = function
     Printf.sprintf "counter mismatch (executed vs analytic): %s" detail
   | Lint_error { code; detail } ->
     Printf.sprintf "lint error (%s) on an accepted pair: %s" code detail
+  | Wavefront_mismatch { executor; array; diff } ->
+    Printf.sprintf
+      "wavefront mismatch: %s executor's %s differs by %g with the wavefront \
+       schedule disabled"
+      executor array diff
   | Crash { detail } -> Printf.sprintf "crash: %s" detail
 
 type verdict =
@@ -172,4 +178,45 @@ let check ?(lint = false) (prog : A.program) (trial : Sampler.trial) =
               in
               if diff <> 0.0 then push (Output_mismatch { array = a; diff; margin }))
           prog.copyout;
+        (* Invariant 4: on self-dependent programs the wavefront schedule
+           must be pure acceleration — re-running both executors with it
+           disabled (the guarded per-point fallback) must reproduce every
+           copied-out grid bit for bit.  Runner steps are store-free, so
+           the same configured plans re-execute on fresh stores. *)
+        let self_dependent =
+          List.exists
+            (fun (k : I.kernel) ->
+              List.exists
+                (fun st ->
+                  match E.Wavefront.stmt_self_deps ~iters:k.iters st with
+                  | E.Wavefront.No_dep -> false
+                  | E.Wavefront.Uniform _ | E.Wavefront.Non_uniform -> true)
+                k.body)
+            kernels
+        in
+        if self_dependent && E.Eval.wavefront_enabled () then
+          E.Eval.with_wavefront false (fun () ->
+              let compare_outputs executor base store =
+                List.iter
+                  (fun a ->
+                    match I.array_dims prog a with
+                    | None -> ()
+                    | Some _ ->
+                      let diff =
+                        E.Grid.max_abs_diff
+                          (E.Reference.find_array base a)
+                          (E.Reference.find_array store a)
+                      in
+                      if diff <> 0.0 then
+                        push (Wavefront_mismatch { executor; array = a; diff }))
+                  prog.copyout
+              in
+              let ref2 = E.Reference.store_of_program prog in
+              (match E.Reference.run_schedule ref2 ~scalars (I.schedule prog) with
+              | exception e -> push (Crash { detail = Printexc.to_string e })
+              | () -> compare_outputs "reference" ref_store ref2);
+              let exec2 = E.Reference.store_of_program prog in
+              match E.Runner.run_schedule steps exec2 ~scalars with
+              | exception e -> push (Crash { detail = Printexc.to_string e })
+              | _ -> compare_outputs "blocks" exec_store exec2);
         Checked { plans = List.length plans; mismatches = List.rev !mismatches })))

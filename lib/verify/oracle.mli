@@ -17,7 +17,12 @@
     With [~lint:true] a third invariant is checked: no Error-level
     [Artemis_lint] finding on any accepted (program, plan) pair — the
     generator only produces programs the linter must consider sound, and
-    plans that validate must also lint clean of errors. *)
+    plans that validate must also lint clean of errors.
+
+    On self-dependent programs (Gauss-Seidel/SOR cases) a fourth
+    invariant pins the wavefront schedule: re-running both executors
+    under [Eval.with_wavefront false] (the guarded per-point fallback)
+    must reproduce every copied-out grid bit for bit. *)
 
 type mismatch =
   | Output_mismatch of { array : string; diff : float; margin : int }
@@ -27,6 +32,8 @@ type mismatch =
       (** executed counters vs analytic counters over the schedule *)
   | Lint_error of { code : string; detail : string }
       (** an Error-level lint finding on an accepted (program, plan) pair *)
+  | Wavefront_mismatch of { executor : string; array : string; diff : float }
+      (** wavefront vs guarded-fallback runs of the same executor differ *)
   | Crash of { detail : string }
       (** the pipeline raised on a checked program + valid plan *)
 

@@ -86,7 +86,7 @@ let tests =
                     dram_bytes = 1e10 } in
           let w =
             { Timing.counters = c; occupancy = occ 256; ilp = 8.0; blocks = 1000;
-              threads_per_block = 256; prefetch = false }
+              threads_per_block = 256; prefetch = false; serial_waves = 1 }
           in
           let b = Timing.evaluate p100 w in
           Alcotest.(check bool) "dram bound" true (b.bottleneck = Timing.Dram_bound);
@@ -94,7 +94,8 @@ let tests =
       case "timing: zero occupancy is infinite time" (fun () ->
           let w =
             { Timing.counters = Counters.zero; occupancy = occ ~regs:255 2048;
-              ilp = 1.0; blocks = 1; threads_per_block = 2048; prefetch = false }
+              ilp = 1.0; blocks = 1; threads_per_block = 2048; prefetch = false;
+              serial_waves = 1 }
           in
           let b = Timing.evaluate p100 w in
           Alcotest.(check bool) "infinite" true (b.t_total = infinity));
@@ -103,7 +104,8 @@ let tests =
           let mk regs =
             let w =
               { Timing.counters = c; occupancy = occ ~regs 256; ilp = 1.6;
-                blocks = 10000; threads_per_block = 256; prefetch = false }
+                blocks = 10000; threads_per_block = 256; prefetch = false;
+                serial_waves = 1 }
             in
             (Timing.evaluate p100 w).t_total
           in
@@ -114,7 +116,7 @@ let tests =
           let mk prefetch =
             let w =
               { Timing.counters = c; occupancy = occ 256; ilp = 4.0;
-                blocks = 10000; threads_per_block = 256; prefetch }
+                blocks = 10000; threads_per_block = 256; prefetch; serial_waves = 1 }
             in
             (Timing.evaluate p100 w).t_sync
           in

@@ -332,6 +332,76 @@ let a502 =
              ~opts:
                { O.default with O.scheme = O.Force_tiled; block = Some [| 4; 16 |] })) ]
 
+(* Gauss-Seidel: a uniform self-dependence with componentwise same-sign
+   distances, schedulable by the wavefront executor. *)
+let seidel_src =
+  {|parameter L=12, M=12; iterator j, i;
+    double u[L,M]; copyin u;
+    stencil gs (x) {
+      x[j][i] = 0.25 * (x[j][i-1] + x[j-1][i] + x[j][i+1] + x[j+1][i]);
+    }
+    gs (u); copyout u;|}
+
+let a601 =
+  [ case "A601 fires on a wavefront-scheduled self-dependence" (fun () ->
+        let fs = lint_prog seidel_src in
+        assert_has "A601" fs;
+        assert_not "A602" fs;
+        Alcotest.(check bool) "names the hyperplane" true
+          (List.exists
+             (fun (f : Lint.finding) ->
+               f.code = "A601" && contains ~sub:"hyperplane" f.message)
+             fs));
+    case "A601 clean counterpart (distinct buffers)" (fun () ->
+        assert_clean
+          (lint_prog
+             {|parameter L=12, M=12; iterator j, i;
+               double u[L,M], v[L,M]; copyin v;
+               stencil jac (x, y) {
+                 x[j][i] = 0.25 * (y[j][i-1] + y[j-1][i] + y[j][i+1] + y[j+1][i]);
+               }
+               jac (u, v); copyout u;|})) ]
+
+let a602 =
+  [ case "A602 fires on a mixed-sign self-dependence" (fun () ->
+        (* Read distance (-1, +1): uniform, but tile-lexicographic order
+           disagrees with point-lexicographic order — no hyperplane every
+           executor can honour. *)
+        let fs =
+          lint_prog
+            {|parameter L=12, M=12; iterator j, i;
+              double u[L,M]; copyin u;
+              stencil s0 (x) { x[j][i] = 0.5 * (x[j-1][i+1] + x[j][i]); }
+              s0 (u); copyout u;|}
+        in
+        assert_has "A602" fs;
+        assert_not "A601" fs);
+    case "A602 fires on a position-dependent self-dependence" (fun () ->
+        (* A transposed self-read cannot come from [parse_string] (the
+           checker requires in-order iterators), so hand-build the kernel
+           a transform could produce. *)
+        let module A = Artemis.Ast in
+        let module I = Artemis.Instantiate in
+        let at l = List.map (fun (iter, shift) -> { A.iter = Some iter; shift }) l in
+        let k =
+          {
+            I.kname = "transposed";
+            body =
+              [ A.Assign
+                  ("u", at [ ("j", 0); ("i", 0) ],
+                   A.Access ("u", at [ ("i", 0); ("j", 0) ])) ];
+            iters = [ "j"; "i" ];
+            domain = [| 8; 8 |];
+            arrays = [ ("u", [| 8; 8 |]) ];
+            scalars = [];
+            assign = [];
+            pragma = A.empty_pragma;
+          }
+        in
+        assert_has "A602" (Lint.lint_kernel k));
+    case "A602 clean counterpart (same-sign Gauss-Seidel)" (fun () ->
+        assert_not "A602" (lint_prog seidel_src)) ]
+
 (* ------------------------------------------------------------------ *)
 (* Semantic wrapping, rendering, catalog                               *)
 (* ------------------------------------------------------------------ *)
@@ -491,5 +561,5 @@ let validate_cases =
 let tests =
   ( "lint",
     a103 @ a104 @ a201 @ a202 @ a203 @ a301 @ a302 @ a303 @ a304 @ a305 @ a101 @ a102
-    @ a401 @ a402 @ a403 @ a404 @ a405 @ a501 @ a502 @ misc @ pinned
+    @ a401 @ a402 @ a403 @ a404 @ a405 @ a501 @ a502 @ a601 @ a602 @ misc @ pinned
     @ validate_cases )

@@ -1,9 +1,12 @@
 (* Interior/halo split-execution tests: the region decomposition
    partitions exactly (randomized over ranks/extents), the in-bounds
-   interior matches the guard set, order-dependent statements fall back
-   to the guarded path, and all three executor modes — interpreter,
-   compiled baseline, split — produce bit-identical outputs on suite
-   programs, the fuzz corpus, and through the block executor. *)
+   interior matches the guard set, order-dependent statements take the
+   wavefront schedule (or the guarded path when no hyperplane applies),
+   and all three executor modes — interpreter, compiled baseline, split
+   — produce bit-identical outputs on suite programs, the fuzz corpus,
+   and through the block executor.  The wavefront section pins the
+   Gauss-Seidel/SOR matrix: interpreter vs guarded fallback vs wavefront
+   schedule, at jobs=1 and forced jobs=4, bit for bit. *)
 
 open Artemis_dsl
 module A = Ast
@@ -211,9 +214,31 @@ let fallback_tests =
         let widx = [ A.index ~iter:"i" 0; A.index ~iter:"i" 0 ] in
         Alcotest.(check bool) "None" true
           (Eval.compile_split b ~target:u widx (A.Access ("v", ij 0 0)) = None));
+    case "write not covering every iterator still splits when order-free"
+      (fun () ->
+        (* u[j] = f(u[j]) under iters (i, j): the free iterator i varies
+           no read, so every i-iteration writes the same value and the
+           statement is order-independent — a pre-wavefront false
+           negative in [order_independent] declined it. *)
+        let u = E.Grid.create [| 8 |] in
+        let b = mk_binder [ ("u", u) ] [] [ "i"; "j" ] in
+        let j0 = [ A.index ~iter:"j" 0 ] in
+        Alcotest.(check bool) "Some" true
+          (Eval.compile_split b ~target:u j0 (A.Access ("u", j0)) <> None));
+    case "free iterator varying a read still declines to split" (fun () ->
+        (* u[j] = v[i]: successive i-iterations write different values
+           to the same cell, so the last-writer order matters. *)
+        let u = E.Grid.create [| 8 |] and v = E.Grid.create [| 8 |] in
+        let b = mk_binder [ ("u", u); ("v", v) ] [] [ "i"; "j" ] in
+        Alcotest.(check bool) "None" true
+          (Eval.compile_split b ~target:u
+             [ A.index ~iter:"j" 0 ]
+             (A.Access ("v", [ A.index ~iter:"i" 0 ]))
+          = None));
     case "gauss-seidel style self-reference matches the interpreter" (fun () ->
-        (* split declines on the statement, so the guarded path runs and
-           the lexicographic update order is preserved *)
+        (* the self-read at (0, -1) is intra-row, so the wavefront
+           schedule puts every row in one wavefront and the increasing
+           flat inner loop preserves the lexicographic update order *)
         let src =
           {|parameter L=14; iterator i, j; double u[L,L]; copyin u;
             stencil s0 (x) { x[i][j] = 0.5 * (x[i][j-1] + x[i][j]); }
@@ -356,7 +381,152 @@ let metrics_tests =
           (Metrics.counter_value m_int));
   ]
 
+(* ---------------- wavefront schedule ---------------- *)
+
+module W = E.Wavefront
+module Pool = Artemis_par.Pool
+module Journal = Artemis_obs.Journal
+
+(* Gauss-Seidel with a forcing term: uniform self-dependence with
+   distances (0,-1), (-1,0), (0,1), (1,0) — wavefront-scheduled. *)
+let wf_gs2d_src =
+  {|parameter L=19, M=23; iterator j, i;
+    double u[L,M], f[L,M]; copyin u, f;
+    stencil gs (x, g) {
+      x[j][i] = 0.25 * (x[j][i-1] + x[j-1][i] + x[j][i+1] + x[j+1][i]) + 0.0625 * g[j][i];
+    }
+    gs (u, f); copyout u;|}
+
+(* 3-D SOR sweep: six unit distances plus the diagonal center term. *)
+let wf_sor3d_src =
+  {|parameter N=9, P=11, Q=13; iterator k, j, i;
+    double u[N,P,Q]; copyin u;
+    stencil sor (x) {
+      x[k][j][i] = 0.0625 * x[k][j][i] + 0.125 * (x[k][j][i-1] + x[k][j-1][i] + x[k-1][j][i] + x[k][j][i+1] + x[k][j+1][i] + x[k+1][j][i]);
+    }
+    sor (u); copyout u;|}
+
+(* The full executor matrix on one self-dependent program: interpreter,
+   guarded fallback ([with_wavefront false] under split mode), and the
+   wavefront schedule, through the reference and block executors — all
+   bit-identical. *)
+let wavefront_matrix_case name src =
+  case (Printf.sprintf "%s: interpreter/guarded/wavefront bit-identical" name)
+    (fun () ->
+      let module O = Artemis_codegen.Options in
+      let prog = Artemis.parse_string src in
+      let wf = reference_outputs Split prog in
+      check_identical (name ^ ": wavefront vs interpreter") wf
+        (reference_outputs Interp prog);
+      check_identical (name ^ ": wavefront vs guarded") wf
+        (Eval.with_wavefront false (fun () -> reference_outputs Split prog));
+      let bwf = runner_outputs Split O.default prog in
+      check_identical (name ^ ": blocks wavefront vs reference") wf bwf;
+      check_identical
+        (name ^ ": blocks wavefront vs blocks guarded")
+        bwf
+        (Eval.with_wavefront false (fun () ->
+             runner_outputs Split O.default prog)))
+
+(* [reference_outputs Split] at the given job count, with the pool's
+   core-count clamp disabled so jobs=4 exercises the queue even on
+   single-core hosts; returns the copyout grids and the decision
+   journal. *)
+let wavefront_run_at_jobs prog jobs =
+  let saved = Pool.jobs () and sf = !Pool.force_parallel in
+  Pool.set_jobs jobs;
+  Pool.force_parallel := jobs > 1;
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.set_jobs saved;
+      Pool.force_parallel := sf)
+    (fun () ->
+      Journal.start ();
+      let outs = reference_outputs Split prog in
+      Journal.stop ();
+      (outs, Journal.to_jsonl ()))
+
+let wavefront_tests =
+  [
+    case "hyperplane: intra-row dependence needs no row ordering" (fun () ->
+        Alcotest.(check bool) "zero vector" true
+          (W.hyperplane ~rank:2 [ [| 0; 1 |] ] = Some [| 0 |]));
+    case "hyperplane: legal for random same-sign cones (randomized)" (fun () ->
+        let rng = Rng.make 5 in
+        for _ = 1 to 200 do
+          let rank = 2 + Rng.int rng 2 in
+          let sign = if Rng.chance rng 0.5 then 1 else -1 in
+          let deltas =
+            List.init
+              (1 + Rng.int rng 3)
+              (fun _ ->
+                let d = Array.init rank (fun _ -> sign * Rng.int rng 2) in
+                if Array.for_all (( = ) 0) d then d.(Rng.int rng rank) <- sign;
+                d)
+          in
+          match W.hyperplane ~rank deltas with
+          | None -> Alcotest.fail "no hyperplane for a same-sign cone"
+          | Some vec ->
+            List.iter
+              (fun d ->
+                let outer = Array.sub d 0 (rank - 1) in
+                if W.lex_sign outer <> 0 then begin
+                  let dot = ref 0 in
+                  Array.iteri (fun i v -> dot := !dot + (v * outer.(i))) vec;
+                  Alcotest.(check int)
+                    "sign (vec . d') = lex_sign d'" (W.lex_sign outer)
+                    (compare !dot 0)
+                end)
+              deltas
+        done);
+    case "iter_wavefronts: rows partition, wavefront index increases"
+      (fun () ->
+        let region = [| (0, 4); (-1, 3); (2, 9) |] in
+        let vec = [| 2; 1 |] in
+        let seen = Hashtbl.create 32 in
+        let last_w = ref min_int in
+        W.iter_wavefronts ~region ~vec (fun w rows ->
+            Alcotest.(check bool) "wavefronts in increasing order" true
+              (w > !last_w);
+            last_w := w;
+            Array.iter
+              (fun row ->
+                (* w is rebased to the region's low corner *)
+                Alcotest.(check int) "row on its wavefront" w
+                  ((vec.(0) * (row.(0) - 0)) + (vec.(1) * (row.(1) - -1)));
+                if Hashtbl.mem seen row then Alcotest.fail "row repeated";
+                Hashtbl.replace seen row ())
+              rows);
+        Alcotest.(check int) "every row covered" (5 * 5) (Hashtbl.length seen));
+    wavefront_matrix_case "gs2d" wf_gs2d_src;
+    wavefront_matrix_case "sor3d" wf_sor3d_src;
+    case "wavefront: forced jobs=4 byte-identical to jobs=1" (fun () ->
+        let prog = Artemis.parse_string wf_gs2d_src in
+        let outs1, journal1 = wavefront_run_at_jobs prog 1 in
+        let outs4, journal4 = wavefront_run_at_jobs prog 4 in
+        check_identical "jobs=1 vs jobs=4" outs1 outs4;
+        Alcotest.(check string) "journals byte-identical" journal1 journal4);
+    case "wavefront sweeps feed the wavefront counter" (fun () ->
+        let m_wf = Metrics.counter "exec.wavefront_points" in
+        let m_gd = Metrics.counter "exec.guarded_points" in
+        let prog = Artemis.parse_string wf_gs2d_src in
+        let before_wf = Metrics.counter_value m_wf in
+        ignore (reference_outputs Split prog);
+        Alcotest.(check bool) "wavefront points counted" true
+          (Metrics.counter_value m_wf > before_wf);
+        (* the guarded fallback charges the guarded counter instead *)
+        let after_wf = Metrics.counter_value m_wf in
+        let before_gd = Metrics.counter_value m_gd in
+        Eval.with_wavefront false (fun () ->
+            ignore (reference_outputs Split prog));
+        Alcotest.(check (float 0.0)) "fallback adds no wavefront points"
+          after_wf (Metrics.counter_value m_wf);
+        Alcotest.(check bool) "fallback charges guarded points" true
+          (Metrics.counter_value m_gd > before_gd));
+  ]
+
 let tests =
   ( "split",
     region_tests @ interior_tests @ fallback_tests @ suite_mode_cases
-    @ kernel_exec_mode_cases @ fuzz_mode_cases @ metrics_tests )
+    @ kernel_exec_mode_cases @ fuzz_mode_cases @ metrics_tests
+    @ wavefront_tests )
