@@ -3,7 +3,7 @@
 TRACE   := /tmp/artemis-trace.json
 REPORT  := /tmp/artemis-report.json
 
-.PHONY: all build test check bench trace-smoke lint-smoke fuzz-smoke perf-smoke wavefront-smoke obs-smoke clean
+.PHONY: all build test check bench trace-smoke lint-smoke analyze-smoke fuzz-smoke perf-smoke wavefront-smoke obs-smoke clean
 
 all: build
 
@@ -20,6 +20,7 @@ check:
 	dune build @all
 	dune runtest
 	$(MAKE) lint-smoke
+	$(MAKE) analyze-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) perf-smoke
 	$(MAKE) wavefront-smoke
@@ -42,6 +43,20 @@ trace-smoke:
 lint-smoke:
 	dune exec bin/artemisc.exe -- lint examples/jacobi.stc --plan
 	dune exec bin/artemisc.exe -- lint --suite --plan
+
+# Affine dataflow smoke test (docs/ANALYSIS.md): the suite and the two
+# pinned fuzz corpora must analyze with no Error findings, and the JSON
+# rendering must be byte-stable across repeated runs.
+analyze-smoke:
+	dune exec bin/artemisc.exe -- analyze --suite --plan > /dev/null
+	dune exec bin/artemisc.exe -- analyze --fuzz-corpus 42 --cases 25 \
+	  --json > /tmp/artemis-analyze-a.json
+	dune exec bin/artemisc.exe -- analyze --fuzz-corpus 42 --cases 25 \
+	  --json > /tmp/artemis-analyze-b.json
+	cmp /tmp/artemis-analyze-a.json /tmp/artemis-analyze-b.json \
+	  && echo "analyze JSON stable"
+	dune exec bin/artemisc.exe -- analyze --fuzz-corpus 7 --cases 25 > /dev/null
+	@rm -f /tmp/artemis-analyze-a.json /tmp/artemis-analyze-b.json
 
 # Differential verification smoke test (docs/VERIFY.md): seed 42 is the
 # acceptance seed, seed 7 once crashed the pipeline and stays pinned.

@@ -1062,10 +1062,102 @@ let dependent_report rows =
   let gd = List.fold_left (fun a (_, _, g, _) -> a +. g) 0.0 rows in
   (gd /. Float.max wf 1e-9, List.for_all (fun (_, _, _, e) -> e) rows)
 
-let write_exec_json matrix dep_rows =
+(* ------------------------------------------------------------------ *)
+(* Guard elimination: proven-bounds shells vs the PR-7 guarded halo     *)
+(* ------------------------------------------------------------------ *)
+
+(* The affine analyzer (docs/ANALYSIS.md) proves boundary shells dead,
+   so the splitter skips them instead of sweeping them point-guarded.
+   The observable effect: a strictly larger fraction of charged points
+   takes an unguarded path than under the PR-7 splitter
+   ([Eval.with_static_elim false] — same splitting, no elimination),
+   with bit-identical grids. *)
+
+let tally_total (t : Artemis_exec.Region.tally) =
+  t.t_interior +. t.t_halo +. t.t_wavefront +. t.t_guarded +. t.t_eliminated
+
+let tally_unguarded (t : Artemis_exec.Region.tally) =
+  t.t_interior +. t.t_wavefront +. t.t_eliminated
+
+let unguarded_fraction t = tally_unguarded t /. Float.max (tally_total t) 1.0
+
+let elimination_rows ~size =
+  let names = [ "7pt-smoother"; "27pt-smoother"; "helmholtz"; "denoise" ] in
+  let m_split = List.find (fun m -> m.em_name = "split") exec_modes in
+  with_exec_mode m_split (fun () ->
+      List.map
+        (fun name ->
+          let prog = (Suite.at_size size (Suite.find name)).prog in
+          let scalars = Artemis.Reference.scalars_of_program prog in
+          let sched = I.schedule prog in
+          let run () =
+            let store = Artemis.Reference.store_of_program prog in
+            Artemis.Reference.run_schedule store ~scalars sched;
+            List.map
+              (fun n ->
+                (n, Artemis_exec.Grid.copy (Artemis.Reference.find_array store n)))
+              prog.copyout
+          in
+          let out_on, t_on = Artemis_exec.Region.with_tally run in
+          let out_off, t_off =
+            Artemis.Eval.with_static_elim false (fun () ->
+                Artemis_exec.Region.with_tally run)
+          in
+          (name, t_on, t_off, outputs_equal out_on out_off))
+        names)
+
+let elimination_report rows =
+  let sum f = List.fold_left (fun a (_, t1, t2, _) -> a +. f t1 t2) 0.0 rows in
+  let ug_on = sum (fun t _ -> tally_unguarded t)
+  and tot_on = sum (fun t _ -> tally_total t)
+  and ug_off = sum (fun _ t -> tally_unguarded t)
+  and tot_off = sum (fun _ t -> tally_total t)
+  and eliminated = sum (fun t _ -> t.Artemis_exec.Region.t_eliminated) in
+  let frac_on = ug_on /. Float.max tot_on 1.0
+  and frac_off = ug_off /. Float.max tot_off 1.0 in
+  let ratio = frac_on /. Float.max frac_off 1e-9 in
+  let increased = eliminated > 0.0 && frac_on > frac_off in
+  let equal = List.for_all (fun (_, _, _, e) -> e) rows in
+  (frac_on, frac_off, ratio, increased, equal)
+
+(* ------------------------------------------------------------------ *)
+(* Jobs determinism: grids and journal at jobs=1 vs jobs=4              *)
+(* ------------------------------------------------------------------ *)
+
+(* Wavefront bands fan out over the pool; the journal folds worker
+   events at canonical points.  Both the copyout grids and the recorded
+   journal must be byte-identical at any worker count. *)
+let jobs_determinism () =
+  let m_split = List.find (fun m -> m.em_name = "split") exec_modes in
+  let progs =
+    [ (Suite.at_size 24 (Suite.find "7pt-smoother")).prog;
+      Artemis.parse_string (gs2d_src ~n:96 ~m:96) ]
+  in
+  with_exec_mode m_split (fun () ->
+      let run jobs =
+        Artemis.Pool.set_jobs jobs;
+        Artemis.Journal.start ();
+        let outs =
+          List.concat_map
+            (fun p ->
+              let _, _, outs = exec_run p in
+              outs)
+            progs
+        in
+        let jl = Artemis.Journal.to_jsonl () in
+        Artemis.Journal.stop ();
+        (outs, jl)
+      in
+      let o1, j1 = run 1 in
+      let o4, j4 = run 4 in
+      Artemis.Pool.set_jobs 1;
+      (outputs_equal o1 o4, j1 = j4))
+
+let write_exec_json matrix dep_rows elim_rows (jobs_outs_eq, jobs_journal_eq) =
   let module J = Artemis.Json in
   let speedup_vs_compiled, speedup_vs_interp, equal = exec_report matrix in
   let dep_speedup, dep_equal = dependent_report dep_rows in
+  let _, _, elim_ratio, elim_increased, elim_equal = elimination_report elim_rows in
   let doc =
     J.Obj
       [ ("meta", bench_meta ());
@@ -1103,9 +1195,27 @@ let write_exec_json matrix dep_rows =
                      J.Float (gd_s /. Float.max wf_s 1e-9));
                     ("outputs_equal", J.Bool equal) ])
               dep_rows));
+        ("elimination",
+         J.List
+           (List.map
+              (fun (name, t_on, t_off, eq) ->
+                J.Obj
+                  [ ("name", J.Str name);
+                    ("unguarded_fraction_elim", J.Float (unguarded_fraction t_on));
+                    ("unguarded_fraction_noelim",
+                     J.Float (unguarded_fraction t_off));
+                    ("eliminated_points",
+                     J.Float t_on.Artemis_exec.Region.t_eliminated);
+                    ("outputs_equal", J.Bool eq) ])
+              elim_rows));
         ("speedup_split_vs_compiled", J.Float speedup_vs_compiled);
         ("speedup_split_vs_interpreter", J.Float speedup_vs_interp);
         ("speedup_wavefront_vs_guarded", J.Float dep_speedup);
+        ("speedup_unguarded_points", J.Float elim_ratio);
+        ("unguarded_fraction_increased", J.Bool elim_increased);
+        ("elimination_outputs_equal", J.Bool elim_equal);
+        ("jobs_outputs_equal", J.Bool jobs_outs_eq);
+        ("jobs_journal_equal", J.Bool jobs_journal_eq);
         ("outputs_equal", J.Bool equal);
         ("wavefront_outputs_equal", J.Bool dep_equal) ]
   in
@@ -1139,7 +1249,26 @@ let exec_bench () =
   let dep_speedup, dep_equal = dependent_report dep_rows in
   Printf.printf "speedup wavefront vs guarded : %.2fx\n" dep_speedup;
   Printf.printf "outputs bit-identical        : %b\n%!" dep_equal;
-  write_exec_json matrix dep_rows
+  header "Guard elimination: proven-bounds shells vs guarded halo";
+  let elim_rows = elimination_rows ~size:28 in
+  List.iter
+    (fun (name, t_on, t_off, eq) ->
+      Printf.printf
+        "%-14s unguarded %5.1f%% (was %5.1f%%)  eliminated %10.0f pts  equal %b\n%!"
+        name
+        (100.0 *. unguarded_fraction t_on)
+        (100.0 *. unguarded_fraction t_off)
+        t_on.Artemis_exec.Region.t_eliminated eq)
+    elim_rows;
+  let frac_on, frac_off, elim_ratio, elim_increased, elim_equal =
+    elimination_report elim_rows
+  in
+  Printf.printf "unguarded fraction           : %.1f%% vs %.1f%% (%.3fx, increased %b, equal %b)\n%!"
+    (100.0 *. frac_on) (100.0 *. frac_off) elim_ratio elim_increased elim_equal;
+  header "Jobs determinism: grids and journal at jobs=1 vs jobs=4";
+  let (jobs_outs_eq, jobs_journal_eq) as jobs_eq = jobs_determinism () in
+  Printf.printf "outputs equal %b, journal equal %b\n%!" jobs_outs_eq jobs_journal_eq;
+  write_exec_json matrix dep_rows elim_rows jobs_eq
 
 (* Hidden smoke variant (`make perf-smoke`): one suite program, split vs
    compiled baseline, hard assertions on output equality and on the

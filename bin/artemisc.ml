@@ -7,6 +7,7 @@
      artemisc deep     prog.stc     # deep tuning of an iterative program
      artemisc check    prog.stc     # parse + semantic check only
      artemisc lint     prog.stc     # whole-pipeline diagnostics (docs/LINT.md)
+     artemisc analyze  prog.stc     # affine footprints + dependence verdicts
      artemisc bench <name>          # run one suite benchmark end to end
      artemisc explain prog.stc      # plan provenance: why this plan won
      artemisc bench-diff OLD NEW    # regression gate over bench artifacts
@@ -174,6 +175,26 @@ let kernels_of prog =
     []
     (List.rev (collect [] (Artemis.Instantiate.schedule prog)))
 
+(** Findings for one program — shared by [lint] and [analyze] so the two
+    commands agree byte-for-byte on which findings a program carries (and
+    therefore on their exit status: non-zero iff any Error-level
+    finding).  Semantic failures short-circuit into A0xx findings; with
+    [~plan] the baseline pragma plan of every scheduled kernel is linted
+    too. *)
+let findings_of ~plan prog =
+  match Artemis.Check.check_all prog with
+  | _ :: _ as msgs -> Artemis.Lint.semantic_findings msgs
+  | [] ->
+    Artemis.Lint.lint_program prog
+    @ (if plan then
+         List.concat_map
+           (fun k ->
+             Artemis.Lint.lint_plan
+               (Artemis.Lower.lower_with_pragma Artemis.Device.p100 k
+                  Artemis.Options.default))
+           (kernels_of prog)
+       else [])
+
 (* ---------------- check ---------------- *)
 
 let check_cmd =
@@ -218,20 +239,6 @@ let lint_cmd =
     Arg.(value & flag & info [ "suite" ]
            ~doc:"Lint every Table-I suite benchmark instead of one file")
   in
-  let lint_one ~plan prog =
-    match Artemis.Check.check_all prog with
-    | _ :: _ as msgs -> Artemis.Lint.semantic_findings msgs
-    | [] ->
-      Artemis.Lint.lint_program prog
-      @ (if plan then
-           List.concat_map
-             (fun k ->
-               Artemis.Lint.lint_plan
-                 (Artemis.Lower.lower_with_pragma Artemis.Device.p100 k
-                    Artemis.Options.default))
-             (kernels_of prog)
-         else [])
-  in
   let emit_and_status json findings =
     if json then
       print_endline
@@ -246,7 +253,7 @@ let lint_cmd =
     if suite then
       let findings =
         List.concat_map
-          (fun (b : Artemis.Suite.t) -> lint_one ~plan b.prog)
+          (fun (b : Artemis.Suite.t) -> findings_of ~plan b.prog)
           Artemis.Suite.all
       in
       (if (not json) && findings = [] then
@@ -257,7 +264,7 @@ let lint_cmd =
       | None -> `Error (true, "PROG.stc required unless --suite is given")
       | Some path -> (
         match read_unchecked path with
-        | `Ok prog -> emit_and_status json (lint_one ~plan prog)
+        | `Ok prog -> emit_and_status json (findings_of ~plan prog)
         | `Error _ as e -> e)
   in
   Cmd.v
@@ -266,6 +273,265 @@ let lint_cmd =
              resource feasibility (codes catalogued in docs/LINT.md); exits \
              non-zero when any Error-level finding is reported")
     Term.(ret (const run $ trace_arg $ path_opt_arg $ plan_arg $ json_arg $ suite_arg))
+
+(* ---------------- analyze ---------------- *)
+
+(** Render the affine dataflow engine's view of a program: symbolic
+    per-statement footprints, concrete per-kernel footprints, dependence
+    verdicts with hyperplane legality, and the lint findings those facts
+    back (A7xx).  Shares [findings_of] with [lint], so the two commands
+    always agree on exit status. *)
+let analyze_cmd =
+  let module St = Artemis.Static in
+  let module W = Artemis_exec.Wavefront in
+  let path_opt_arg =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"PROG.stc"
+           ~doc:"Stencil DSL program (omit with $(b,--suite) or \
+                 $(b,--fuzz-corpus))")
+  in
+  let plan_arg =
+    Arg.(value & flag & info [ "plan" ]
+           ~doc:"Also lint the baseline pragma plan of every scheduled kernel")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the analysis as stable JSON instead of text")
+  in
+  let suite_arg =
+    Arg.(value & flag & info [ "suite" ]
+           ~doc:"Analyze every Table-I suite benchmark instead of one file")
+  in
+  let fuzz_arg =
+    Arg.(value & opt (some int) None
+         & info [ "fuzz-corpus" ] ~docv:"SEED"
+             ~doc:"Analyze the deterministic fuzz corpus for $(docv) instead \
+                   of one file (the oracle's invariant 5 checks the same \
+                   programs dynamically)")
+  in
+  let cases_arg =
+    Arg.(value & opt int 25 & info [ "cases" ] ~docv:"N"
+           ~doc:"Corpus size for $(b,--fuzz-corpus) (default 25)")
+  in
+  let vec_str v =
+    String.concat ", " (List.map string_of_int (Array.to_list v))
+  in
+  let delta_str d = Printf.sprintf "(%s)" (vec_str d) in
+  (* Per-statement facts of one instantiated kernel: write target,
+     in-bounds footprint over the domain, and the self-dependence
+     verdict.  Accesses mirror the executed guard: the write plus every
+     array read; temps live on domain-shaped registers. *)
+  let kernel_stmts (k : Artemis.Instantiate.kernel) =
+    let temps = Hashtbl.create 4 in
+    let dims_of a =
+      if Hashtbl.mem temps a then k.domain
+      else match List.assoc_opt a k.arrays with
+        | Some d -> d
+        | None -> k.domain
+    in
+    let domain_box = Array.map (fun n -> (0, n - 1)) k.domain in
+    let identity_idx =
+      List.map (fun it -> { Artemis.Ast.iter = Some it; shift = 0 }) k.iters
+    in
+    List.mapi
+      (fun si st ->
+        let target, idx, e =
+          match st with
+          | Artemis.Ast.Decl_temp (t, e) ->
+            Hashtbl.replace temps t ();
+            (t, identity_idx, e)
+          | Artemis.Ast.Assign (a, idx, e) | Artemis.Ast.Accum (a, idx, e) ->
+            (a, idx, e)
+        in
+        let accesses =
+          (dims_of target, St.spec_of_index ~iters:k.iters idx)
+          :: List.map
+               (fun (arr, idx') ->
+                 (dims_of arr, St.spec_of_index ~iters:k.iters idx'))
+               (Artemis.Ast.reads_of_expr e)
+        in
+        let fp = St.footprint ~region:domain_box ~accesses in
+        (si, target, fp, St.self_dependences ~iters:k.iters st))
+      k.body
+  in
+  let dep_str rank = function
+    | St.No_dep -> "no self-dependence"
+    | St.Unknown -> "position-dependent self-dependence (not uniform)"
+    | St.Uniform ds ->
+      let hp =
+        match W.hyperplane ~rank ds with
+        | Some vec ->
+          Printf.sprintf "hyperplane (%s) %s" (vec_str vec)
+            (if St.schedule_ok ~rank ~vec ds then "legal" else "ILLEGAL")
+        | None -> "no legal constant hyperplane"
+      in
+      Printf.sprintf "distances {%s}; %s; %s"
+        (String.concat " " (List.map delta_str ds))
+        (if St.band_safe ds then "band-safe" else "mixed-sign")
+        hp
+  in
+  let render_program b name prog =
+    Printf.bprintf b "%s: affine dataflow analysis\n" name;
+    (match St.symbolic_footprints prog with
+     | [] -> ()
+     | syms ->
+       Buffer.add_string b "  symbolic footprints (in the extent parameters):\n";
+       List.iter
+         (fun (s : St.sym_stmt) ->
+           Printf.bprintf b "    %s stmt %d writes %s: %s\n" s.ss_stencil
+             s.ss_stmt s.ss_write
+             (String.concat ", "
+                (List.mapi
+                   (fun d it ->
+                     Printf.sprintf "%s in %s" it
+                       (St.sym_bound_to_string s.ss_bounds.(d)))
+                   s.ss_iters)))
+         syms);
+    List.iter
+      (fun (k : Artemis.Instantiate.kernel) ->
+        let rank = Array.length k.domain in
+        Printf.bprintf b "  kernel %s (domain %s):\n" k.kname (vec_str k.domain);
+        List.iter
+          (fun (si, target, fp, dep) ->
+            Printf.bprintf b "    stmt %d writes %s: footprint %s (%d of %d \
+                              points); %s\n"
+              si target (St.box_to_string fp) (St.box_volume fp)
+              (Array.fold_left (fun a n -> a * n) 1 k.domain)
+              (dep_str rank dep))
+          (kernel_stmts k))
+      (kernels_of prog)
+  in
+  let box_json fp =
+    Json.List
+      (Array.to_list
+         (Array.map (fun (lo, hi) -> Json.List [ Json.Int lo; Json.Int hi ]) fp))
+  in
+  let dep_json rank = function
+    | St.No_dep -> Json.Str "none"
+    | St.Unknown -> Json.Str "unknown"
+    | St.Uniform ds ->
+      let hp =
+        match W.hyperplane ~rank ds with
+        | Some vec ->
+          [ ("hyperplane", Json.List
+               (Array.to_list (Array.map (fun c -> Json.Int c) vec)));
+            ("legal", Json.Bool (St.schedule_ok ~rank ~vec ds)) ]
+        | None -> []
+      in
+      Json.Obj
+        (( "distances",
+           Json.List
+             (List.map
+                (fun d ->
+                  Json.List
+                    (Array.to_list (Array.map (fun c -> Json.Int c) d)))
+                ds) )
+         :: ("band_safe", Json.Bool (St.band_safe ds))
+         :: hp)
+  in
+  let program_json name prog findings =
+    Json.Obj
+      [ ("program", Json.Str name);
+        ( "symbolic",
+          Json.List
+            (List.map
+               (fun (s : St.sym_stmt) ->
+                 Json.Obj
+                   [ ("stencil", Json.Str s.ss_stencil);
+                     ("stmt", Json.Int s.ss_stmt);
+                     ("writes", Json.Str s.ss_write);
+                     ( "bounds",
+                       Json.Obj
+                         (List.mapi
+                            (fun d it ->
+                              (it, Json.Str
+                                     (St.sym_bound_to_string s.ss_bounds.(d))))
+                            s.ss_iters) ) ])
+               (St.symbolic_footprints prog)) );
+        ( "kernels",
+          Json.List
+            (List.map
+               (fun (k : Artemis.Instantiate.kernel) ->
+                 let rank = Array.length k.domain in
+                 Json.Obj
+                   [ ("kernel", Json.Str k.kname);
+                     ( "domain",
+                       Json.List
+                         (Array.to_list
+                            (Array.map (fun n -> Json.Int n) k.domain)) );
+                     ( "statements",
+                       Json.List
+                         (List.map
+                            (fun (si, target, fp, dep) ->
+                              Json.Obj
+                                [ ("stmt", Json.Int si);
+                                  ("writes", Json.Str target);
+                                  ("footprint", box_json fp);
+                                  ("footprint_points",
+                                   Json.Int (St.box_volume fp));
+                                  ("dependence", dep_json rank dep) ])
+                            (kernel_stmts k)) ) ])
+               (kernels_of prog)) );
+        ("findings", Artemis.Lint.findings_to_json findings) ]
+  in
+  let run trace path plan json suite fuzz cases =
+    with_trace trace @@ fun () ->
+    let programs =
+      if suite then
+        `Ok (List.map (fun (b : Artemis.Suite.t) -> (b.name, b.prog))
+               Artemis.Suite.all)
+      else
+        match fuzz with
+        | Some seed ->
+          `Ok (List.init cases (fun index ->
+                   ( Printf.sprintf "fuzz-seed%d-case%d" seed index,
+                     (Artemis_verify.Gen.generate ~seed ~index).prog )))
+        | None -> (
+          match path with
+          | None ->
+            `Error
+              (true, "PROG.stc required unless --suite or --fuzz-corpus is \
+                      given")
+          | Some path -> (
+            match read_unchecked path with
+            | `Ok prog -> `Ok [ (path, prog) ]
+            | `Error _ as e -> e))
+    in
+    match programs with
+    | `Error _ as e -> e
+    | `Ok programs ->
+      let analyzed =
+        List.map (fun (name, prog) -> (name, prog, findings_of ~plan prog))
+          programs
+      in
+      let findings = List.concat_map (fun (_, _, fs) -> fs) analyzed in
+      (if json then
+         print_endline
+           (Json.to_string ~indent:true
+              (Json.Obj
+                 [ ("schema_version", Json.Int 1);
+                   ( "programs",
+                     Json.List
+                       (List.map
+                          (fun (name, prog, fs) -> program_json name prog fs)
+                          analyzed) ) ]))
+       else begin
+         let b = Buffer.create 4096 in
+         List.iter (fun (name, prog, _) -> render_program b name prog) analyzed;
+         Printf.bprintf b "findings:\n%s" (Artemis.Lint.report findings);
+         print_string (Buffer.contents b)
+       end);
+      (match Artemis.Lint.errors findings with
+       | [] -> `Ok ()
+       | es -> `Error (false, Printf.sprintf "%d lint error(s)" (List.length es)))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Affine dataflow analysis: per-statement footprints (symbolic and \
+             concrete), exact dependence distances with hyperplane legality, \
+             and the A7xx findings they back (docs/ANALYSIS.md); exit status \
+             agrees with $(b,lint)")
+    Term.(ret (const run $ trace_arg $ path_opt_arg $ plan_arg $ json_arg
+               $ suite_arg $ fuzz_arg $ cases_arg))
 
 (* ---------------- compile ---------------- *)
 
@@ -836,5 +1102,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ check_cmd; lint_cmd; compile_cmd; optimize_cmd; deep_cmd; bench_cmd;
+          [ check_cmd; lint_cmd; analyze_cmd; compile_cmd; optimize_cmd;
+            deep_cmd; bench_cmd;
             list_cmd; explain_cmd; bench_diff_cmd; fuzz_cmd; trace_info_cmd ]))

@@ -26,6 +26,7 @@ module Plan = Artemis_ir.Plan
 module Validate = Artemis_ir.Validate
 module Estimate = Artemis_ir.Estimate
 module Lint = Artemis_lint.Lint
+module Static = Artemis_static.Static
 module Analytic = Artemis_exec.Analytic
 module Reference = Artemis_exec.Reference
 module Kernel_exec = Artemis_exec.Kernel_exec

@@ -22,6 +22,10 @@ module Estimate = Artemis_ir.Estimate
 (** Whole-pipeline diagnostics (see docs/LINT.md). *)
 module Lint = Artemis_lint.Lint
 
+(** The affine dataflow analyzer: exact footprints, dependence testing,
+    and the A7xx lint back ends (see docs/ANALYSIS.md). *)
+module Static = Artemis_static.Static
+
 module Analytic = Artemis_exec.Analytic
 module Reference = Artemis_exec.Reference
 module Kernel_exec = Artemis_exec.Kernel_exec

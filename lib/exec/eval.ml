@@ -121,6 +121,28 @@ let with_wavefront v f =
   slot := Some v;
   Fun.protect ~finally:(fun () -> slot := saved) f
 
+(* Static guard elimination: skip boundary shells (and wavefront
+   exteriors) outright when the affine analyzer independently proves
+   every shell point a guard-failing no-op.  Same domain-scoped override
+   discipline as the wavefront toggle — the bench harness compares both
+   settings inside pool workers. *)
+let use_static_elim = ref true
+
+let static_elim_override : bool option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let static_elim_enabled () =
+  (match !(Domain.DLS.get static_elim_override) with
+  | Some v -> v
+  | None -> !use_static_elim)
+  && split_enabled ()
+
+let with_static_elim v f =
+  let slot = Domain.DLS.get static_elim_override in
+  let saved = !slot in
+  slot := Some v;
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
 type binder = {
   bind_array : string -> Grid.t;  (** array storage, temp grids included *)
   bind_temp : string -> Grid.t option;  (** per-point temporaries as grids *)
@@ -560,6 +582,22 @@ let compile_split (b : binder) ~(target : Grid.t) (idx : A.index list)
 
 let split_interior (ss : split_stmt) (region : Region.box) =
   clip_in_bounds ss.ss_paths region
+
+(** True when the affine analyzer, recomputing the statement's in-bounds
+    footprint from the raw (extents, spec) pairs, lands on exactly the
+    executor's own [clip_in_bounds] box [interior].  Only then are the
+    shells provably dead — every region point outside [interior] fails
+    the write bounds check or the read guard, so the guarded body would
+    fall through without writing.  Two independent engines must agree
+    before a guard is skipped; disagreement falls back to sweeping. *)
+let elim_proven (ss : split_stmt) ~(region : Region.box)
+    ~(interior : Region.box) =
+  static_elim_enabled ()
+  && Artemis_static.Static.box_equal
+       (Artemis_static.Static.footprint ~region
+          ~accesses:
+            (List.map (fun p -> (p.ap_grid.Grid.dims, p.ap_spec)) ss.ss_paths))
+       interior
 
 let run_row_assign (ss : split_stmt) (point : int array) (n : int) =
   ss.ss_expr.fbind point;

@@ -70,6 +70,24 @@ val wavefront_enabled : unit -> bool
     can flip it inside pool workers without racing concurrent cases). *)
 val with_wavefront : bool -> (unit -> 'a) -> 'a
 
+(** When set (the default), the executors skip boundary shells (and
+    wavefront exteriors) whose points the affine analyzer
+    ({!Artemis_static.Static}) proves to be guard-failing no-ops,
+    charging them to [exec.eliminated_points] instead of sweeping them.
+    Elimination only engages where the analyzer's independently computed
+    footprint agrees exactly with the executor's own clipping
+    ({!elim_proven}); results are bit-identical either way. *)
+val use_static_elim : bool ref
+
+(** Static guard elimination is active: {!use_static_elim} (or a scoped
+    {!with_static_elim} override) and {!split_enabled}. *)
+val static_elim_enabled : unit -> bool
+
+(** [with_static_elim v f] runs [f] with static elimination forced to
+    [v] on the calling domain only (same discipline as
+    {!with_wavefront}). *)
+val with_static_elim : bool -> (unit -> 'a) -> 'a
+
 (** Name resolution for compilation, fixed before the sweep begins:
     [bind_temp] wins over [bind_scalar] for scalar references (temps
     shadow scalars), and [bind_array] must already apply whatever
@@ -158,6 +176,16 @@ val compile_split :
 (** The sub-box of [region] where every access of the statement is in
     bounds (its unguarded interior). *)
 val split_interior : split_stmt -> Region.box -> Region.box
+
+(** True when static elimination is enabled and the affine analyzer,
+    recomputing the statement's in-bounds footprint from the raw
+    (extents, spec) pairs, lands on exactly [interior] (the executor's
+    own {!clip_in_bounds} box for [region]).  Every region point outside
+    [interior] is then provably a guard-failing no-op, so the shells can
+    be skipped — two independent engines must agree before any guard is
+    dropped; disagreement falls back to sweeping them. *)
+val elim_proven :
+  split_stmt -> region:Region.box -> interior:Region.box -> bool
 
 (** Row bodies for [Region.sweep]'s [~row] argument: bind the row at
     [point], then assign (or accumulate) [n] points through flat

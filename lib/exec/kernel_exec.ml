@@ -222,16 +222,18 @@ let run (plan : Plan.t) (store : Reference.store) ~scalars =
             done;
           match sx.Eval.sx_class with
           | Eval.Sc_split ss ->
-            Region.sweep ~point ~region
-              ~interior:(Eval.split_interior ss region)
-              ~guarded:sx.sx_guarded ~row:sx.sx_row ()
+            let interior = Eval.split_interior ss region in
+            Region.sweep ~point
+              ~dead_shells:(Eval.elim_proven ss ~region ~interior)
+              ~region ~interior ~guarded:sx.sx_guarded ~row:sx.sx_row ()
           | Eval.Sc_wavefront (ss, _) ->
             let sweeper, vec =
               match wavefront with Some wf -> wf | None -> assert false
             in
-            Wavefront.sweep sweeper ~region
-              ~interior:(Eval.split_interior ss region)
-              ~vec
+            let interior = Eval.split_interior ss region in
+            Wavefront.sweep
+              ~elide:(Eval.elim_proven ss ~region ~interior)
+              sweeper ~region ~interior ~vec
           | Eval.Sc_guarded ->
             Region.sweep_guarded ~point ~region sx.sx_guarded)
         compiled_stmts
@@ -262,7 +264,8 @@ let run (plan : Plan.t) (store : Reference.store) ~scalars =
         ("interior_points", Json.Float tally.t_interior);
         ("halo_points", Json.Float tally.t_halo);
         ("wavefront_points", Json.Float tally.t_wavefront);
-        ("guarded_points", Json.Float tally.t_guarded) ]
+        ("guarded_points", Json.Float tally.t_guarded);
+        ("eliminated_points", Json.Float tally.t_eliminated) ]
   end
   else launch 0;
   Traffic.total_counters ctx

@@ -94,9 +94,10 @@ let run_kernel (store : store) ~scalars (k : I.kernel) =
     let sx = make () in
     match sx.Eval.sx_class with
     | Eval.Sc_split ss ->
-      Region.sweep ~point ~region:domain_box
-        ~interior:(Eval.split_interior ss domain_box)
-        ~guarded:sx.sx_guarded ~row:sx.sx_row ()
+      let interior = Eval.split_interior ss domain_box in
+      Region.sweep ~point
+        ~dead_shells:(Eval.elim_proven ss ~region:domain_box ~interior)
+        ~region:domain_box ~interior ~guarded:sx.sx_guarded ~row:sx.sx_row ()
     | Eval.Sc_wavefront (ss, vec) ->
       (* Rows of one wavefront are independent; each parallel band
          compiles its own instance (the closures reuse buffers). *)
@@ -104,11 +105,11 @@ let run_kernel (store : store) ~scalars (k : I.kernel) =
         let sx = make () in
         { Wavefront.we_guarded = sx.Eval.sx_guarded; we_row = sx.sx_row }
       in
+      let interior = Eval.split_interior ss domain_box in
       Wavefront.sweep
+        ~elide:(Eval.elim_proven ss ~region:domain_box ~interior)
         (Wavefront.sweeper ~make_exec)
-        ~region:domain_box
-        ~interior:(Eval.split_interior ss domain_box)
-        ~vec
+        ~region:domain_box ~interior ~vec
     | Eval.Sc_guarded ->
       Region.sweep_guarded ~point ~region:domain_box sx.sx_guarded
   in
@@ -132,7 +133,8 @@ let run_kernel (store : store) ~scalars (k : I.kernel) =
         ("interior_points", Json.Float tally.t_interior);
         ("halo_points", Json.Float tally.t_halo);
         ("wavefront_points", Json.Float tally.t_wavefront);
-        ("guarded_points", Json.Float tally.t_guarded) ]
+        ("guarded_points", Json.Float tally.t_guarded);
+        ("eliminated_points", Json.Float tally.t_eliminated) ]
   end
   else List.iter run_sweep k.body
 

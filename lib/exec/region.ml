@@ -120,12 +120,14 @@ let m_interior = Metrics.counter "exec.interior_points"
 let m_halo = Metrics.counter "exec.halo_points"
 let m_wavefront = Metrics.counter "exec.wavefront_points"
 let m_guarded = Metrics.counter "exec.guarded_points"
+let m_eliminated = Metrics.counter "exec.eliminated_points"
 
 type tally = {
   mutable t_interior : float;
   mutable t_halo : float;
   mutable t_wavefront : float;
   mutable t_guarded : float;
+  mutable t_eliminated : float;
 }
 
 (* Per-domain scoped tally: the global counters aggregate every launch
@@ -153,10 +155,21 @@ let charge_wavefront =
 let charge_guarded =
   charge m_guarded (fun t n -> t.t_guarded <- t.t_guarded +. n)
 
+let charge_eliminated =
+  charge m_eliminated (fun t n -> t.t_eliminated <- t.t_eliminated +. n)
+
 let with_tally f =
   let slot = Domain.DLS.get tally_slot in
   let saved = !slot in
-  let t = { t_interior = 0.0; t_halo = 0.0; t_wavefront = 0.0; t_guarded = 0.0 } in
+  let t =
+    {
+      t_interior = 0.0;
+      t_halo = 0.0;
+      t_wavefront = 0.0;
+      t_guarded = 0.0;
+      t_eliminated = 0.0;
+    }
+  in
   slot := Some t;
   Fun.protect
     ~finally:(fun () -> slot := saved)
@@ -175,14 +188,27 @@ let sweep_guarded ?point ~(region : box) guarded =
     boundary shells on the guarded per-point path.  [interior] must be a
     sub-box of [region] — callers obtain it by intersecting the region
     with the statement's in-bounds box.  Interior and halo point counts
-    feed the [exec.interior_points] / [exec.halo_points] counters. *)
-let sweep ?point ~(region : box) ~(interior : box) ~guarded ~row () =
-  if is_empty interior then sweep_guarded ?point ~region guarded
+    feed the [exec.interior_points] / [exec.halo_points] counters.
+
+    [dead_shells] asserts the caller has proven (statically) that every
+    shell point is a no-op — some access is out of bounds there, so the
+    guarded body would fall through without writing.  The shells are then
+    skipped entirely and their volume charged to
+    [exec.eliminated_points]; output is bit-identical by construction.
+    When [interior] is empty the proof covers the whole region. *)
+let sweep ?point ?(dead_shells = false) ~(region : box) ~(interior : box)
+    ~guarded ~row () =
+  if is_empty interior then
+    if dead_shells then charge_eliminated (float_of_int (volume region))
+    else sweep_guarded ?point ~region guarded
   else begin
     List.iter
       (fun shell ->
-        iter_points ?point shell guarded;
-        charge_halo (float_of_int (volume shell)))
+        if dead_shells then charge_eliminated (float_of_int (volume shell))
+        else begin
+          iter_points ?point shell guarded;
+          charge_halo (float_of_int (volume shell))
+        end)
       (split ~region ~interior);
     iter_rows ?point interior row;
     charge_interior (float_of_int (volume interior))

@@ -48,6 +48,8 @@ type tally = {
   mutable t_halo : float;
   mutable t_wavefront : float;
   mutable t_guarded : float;
+  mutable t_eliminated : float;
+      (** shell points skipped under a static in-bounds proof *)
 }
 
 (** [with_tally f] runs [f] with a fresh per-domain tally installed and
@@ -67,6 +69,11 @@ val charge_wavefront : float -> unit
 
 val charge_halo : float -> unit
 
+(** Charge [n] points to [exec.eliminated_points] — region points
+    skipped under a static proof that their guard must fail.  Exposed
+    for the {!Wavefront} driver's elided sweeps. *)
+val charge_eliminated : float -> unit
+
 (** Guarded fallback sweep over a whole region (no interior carved out),
     charged to the [exec.guarded_points] counter — the dependent-stencil
     fallback path, reported distinctly from boundary shells. *)
@@ -75,9 +82,14 @@ val sweep_guarded : ?point:int array -> region:box -> (int array -> unit) -> uni
 (** Sweep [region] as [interior] rows (the unguarded fast path, [row])
     plus boundary shells on the guarded per-point path ([guarded]).
     [interior] must be a sub-box of [region] — intersect first.  Point
-    counts feed [exec.interior_points] / [exec.halo_points]. *)
+    counts feed [exec.interior_points] / [exec.halo_points].
+
+    [dead_shells] (default false) asserts a static proof that every
+    shell point is a guard-failing no-op: the shells are skipped and
+    charged to [exec.eliminated_points] instead of being swept. *)
 val sweep :
   ?point:int array ->
+  ?dead_shells:bool ->
   region:box ->
   interior:box ->
   guarded:(int array -> unit) ->

@@ -344,9 +344,9 @@ let flat_len ~(region : Region.box) ~(interior : Region.box) (o : int array) =
    to jobs=1. *)
 let min_parallel_rows = 4
 
-let sweep (sw : sweeper) ~(region : Region.box) ~(interior : Region.box)
-    ~(vec : int array) =
-  if not (Region.is_empty region) then begin
+let sweep_dense (sw : sweeper) ~(region : Region.box)
+    ~(interior : Region.box) ~(vec : int array) =
+  begin
     let flat_total = ref 0 in
     iter_wavefronts ~region ~vec (fun _w rows ->
         let nrows = Array.length rows in
@@ -374,3 +374,20 @@ let sweep (sw : sweeper) ~(region : Region.box) ~(interior : Region.box)
     Region.charge_wavefront (float_of_int !flat_total);
     Region.charge_halo (float_of_int (total - !flat_total))
   end
+
+(** Sweep all rows of [region] wavefront by wavefront.  [elide] asserts
+    a static proof that every point outside [interior] is a
+    guard-failing no-op: the sweep then shrinks to the interior box
+    (every row fully flat), charging the skipped points to
+    [exec.eliminated_points] — bit-identical output, since wavefront
+    numbering by [vec . outer] is translation-invariant and the executed
+    points keep their relative order. *)
+let sweep ?(elide = false) (sw : sweeper) ~(region : Region.box)
+    ~(interior : Region.box) ~(vec : int array) =
+  if elide then begin
+    let skipped = Region.volume region - Region.volume interior in
+    Region.charge_eliminated (float_of_int skipped);
+    if not (Region.is_empty interior) then
+      sweep_dense sw ~region:interior ~interior ~vec
+  end
+  else if not (Region.is_empty region) then sweep_dense sw ~region ~interior ~vec

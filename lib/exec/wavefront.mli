@@ -79,6 +79,18 @@ val iter_wavefronts :
     wavefronts with enough rows fan out across the pool in contiguous
     bands.  Charges [exec.wavefront_points] (flat segments) and
     [exec.halo_points] (guarded remainder) on the calling domain, so
-    jobs=N is byte-identical to jobs=1. *)
+    jobs=N is byte-identical to jobs=1.
+
+    [elide] (default false) asserts a static proof that every region
+    point outside [interior] is a guard-failing no-op: the sweep shrinks
+    to the interior box (every row fully flat) and the skipped points
+    are charged to [exec.eliminated_points].  Wavefront numbering by
+    [vec . outer] is translation-invariant, so the executed points keep
+    their relative order and the output stays bit-identical. *)
 val sweep :
-  sweeper -> region:Region.box -> interior:Region.box -> vec:int array -> unit
+  ?elide:bool ->
+  sweeper ->
+  region:Region.box ->
+  interior:Region.box ->
+  vec:int array ->
+  unit

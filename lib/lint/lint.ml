@@ -21,6 +21,7 @@ module Coalesce = Artemis_gpu.Coalesce
 module Json = Artemis_obs.Json
 module Metrics = Artemis_obs.Metrics
 module W = Artemis_exec.Wavefront
+module S = Artemis_static.Static
 
 type severity =
   | Error
@@ -86,7 +87,17 @@ let catalog =
       wavefront schedule");
     ("A602", Error,
      "self-dependence admits no hyperplane compatible with the executors' \
-      sweep orders: results depend on traversal order") ]
+      sweep orders: results depend on traversal order");
+    ("A701", Error,
+     "statically dead access: the affine analyzer proves the access lands \
+      outside its array at every point of the domain, so the guard turns \
+      the statement into a silent no-op");
+    ("A702", Warning,
+     "read of a region that no copy-in or earlier launch must-writes: the \
+      statement consumes cells the program never computed");
+    ("A703", Error,
+     "static race: a statically proven dependence that the plan's tile \
+      fan-out or chosen wavefront hyperplane would execute out of order") ]
 
 (* ------------------------------------------------------------------ *)
 (* Finding sink: ordered, deduplicated, counted.                       *)
@@ -335,6 +346,110 @@ let wavefront_lints s (k : I.kernel) =
              n target))
     k.body
 
+(* ------------------------------------------------------------------ *)
+(* Affine-analyzer (A7xx) passes                                        *)
+(* ------------------------------------------------------------------ *)
+
+let point_str p =
+  "(" ^ String.concat ", " (List.map string_of_int (Array.to_list p)) ^ ")"
+
+let deltas_str ds =
+  String.concat ", " (List.map point_str ds)
+
+let stmt_target = function
+  | A.Assign (a, _, _) | A.Accum (a, _, _) -> a
+  | A.Decl_temp (t, _) -> t
+
+(* A701: the affine analyzer's per-access feasibility test is empty over
+   the whole (non-empty) domain — the access can never be in bounds, so
+   the guard silently turns the statement into a no-op at every point.
+   Unlike A201 (some points clipped, Warning) this is a proof that no
+   point survives, hence Error, and each finding carries a concrete
+   witness point. *)
+let static_oob_lints s (k : I.kernel) =
+  let loc = "kernel " ^ k.kname in
+  List.iter
+    (fun (o : S.oob) ->
+      emit s ~code:"A701" ~severity:Error ~phase:Dsl ~location:loc
+        ~hint:
+          "the guard rejects every domain point, so the statement never \
+           touches this access; fix the index or enlarge the array"
+        (Printf.sprintf
+           "statement %d: access of %s is out of bounds at every domain point \
+            — at %s, dimension %d resolves to index %d outside extent %d"
+           o.S.oob_stmt o.S.oob_array
+           (point_str o.S.oob_witness)
+           o.S.oob_dim o.S.oob_index o.S.oob_extent))
+    (S.never_in_bounds k)
+
+(* A702: region-level must-read-before-must-write dataflow across the
+   host schedule.  [S.uninit_reads] accumulates the union of copy-in and
+   must-written boxes per array launch by launch (time loops unrolled to
+   the ping-pong fixpoint); a read whose region escapes that cover
+   consumes cells no one computed.  Warning, not Error: the executors
+   still produce defined values (stores are deterministically
+   initialized), unlike A103's array never initialized at all. *)
+let static_uninit_lints s (prog : A.program) sched =
+  List.iter
+    (fun (u : S.uninit) ->
+      emit s ~code:"A702" ~severity:Warning ~phase:Dsl
+        ~location:("kernel " ^ u.S.un_kernel)
+        ~hint:
+          (Printf.sprintf
+             "copyin %s, or have an earlier launch write the whole read region"
+             u.S.un_array)
+        (Printf.sprintf
+           "statement %d reads %s over %s, a region no copy-in or earlier \
+            launch must-writes"
+           u.S.un_stmt u.S.un_array
+           (S.box_to_string u.S.un_region)))
+    (S.uninit_reads prog sched)
+
+(* A703 (kernel side): the affine engine re-derives every statement's
+   self-dependence distances independently of the executors'
+   classification ([W.stmt_self_deps]) and checks the schedule they
+   would actually run: split rows fan out across the pool only for
+   dependence-free statements, and a wavefront hyperplane must order
+   every statically proven distance.  The two engines agreeing makes
+   both arms unreachable from the parser — this is defense in depth for
+   hand-built or transform-produced kernels, where a disagreement is a
+   race the pool could expose. *)
+let static_race_lints s (k : I.kernel) =
+  let loc = "kernel " ^ k.kname in
+  let rank = Array.length k.domain in
+  List.iteri
+    (fun n st ->
+      match S.self_dependences ~iters:k.iters st with
+      | S.No_dep | S.Unknown -> ()
+      | S.Uniform deltas -> (
+        match W.stmt_self_deps ~iters:k.iters st with
+        | W.No_dep ->
+          emit s ~code:"A703" ~severity:Error ~phase:Dsl ~location:loc
+            ~hint:
+              "the split executor would fan its rows across the pool; break \
+               the dependence with distinct input/output buffers"
+            (Printf.sprintf
+               "statement %d (writes %s): the affine engine proves dependence \
+                distances {%s} but the executors classify the statement as \
+                dependence-free — parallel rows would race"
+               n (stmt_target st) (deltas_str deltas))
+        | W.Uniform wdeltas -> (
+          match W.hyperplane ~rank wdeltas with
+          | Some vec when not (S.schedule_ok ~rank ~vec deltas) ->
+            emit s ~code:"A703" ~severity:Error ~phase:Dsl ~location:loc
+              ~hint:"break the self-dependence with distinct input/output buffers"
+              (Printf.sprintf
+                 "statement %d (writes %s): hyperplane (%s) chosen by the \
+                  executors violates a statically proven dependence distance \
+                  in {%s}"
+                 n (stmt_target st)
+                 (String.concat ", "
+                    (List.map string_of_int (Array.to_list vec)))
+                 (deltas_str deltas))
+          | Some _ | None -> ())
+        | W.Non_uniform -> ()))
+    k.body
+
 let lint_kernel k =
   let s = sink () in
   bounds_lints s k;
@@ -342,6 +457,8 @@ let lint_kernel k =
   dead_statement_lints s k;
   intrinsic_lints s k;
   wavefront_lints s k;
+  static_oob_lints s k;
+  static_race_lints s k;
   drain s
 
 (* ------------------------------------------------------------------ *)
@@ -549,12 +666,15 @@ let lint_program (prog : A.program) =
   let sched = I.schedule prog in
   uninitialized_read_lints s prog sched;
   dead_store_lints s prog sched;
+  static_uninit_lints s prog sched;
   List.iter
     (fun k ->
       bounds_lints s k;
       fusion_lints s k;
       dead_statement_lints s k;
-      wavefront_lints s k)
+      wavefront_lints s k;
+      static_oob_lints s k;
+      static_race_lints s k)
     (kernels_of_schedule sched);
   drain s
 
@@ -593,6 +713,56 @@ let launch_findings s (p : P.t) =
 let launch_errors p =
   let s = sink () in
   ignore (launch_findings s p);
+  drain s
+
+(* A703 (plan side): the static race detector the tuner prunes with.
+   The block executor fans the plan's tile grid out tile-lexicographically
+   and the wavefront schedule fans rows of one wavefront across the pool;
+   a statically proven distance set that is not componentwise same-signed
+   breaks the first, and a hyperplane failing [S.schedule_ok] breaks the
+   second.  Everything here comes from the affine engine alone, so the
+   pruning is independent of the executors' own classification. *)
+let static_plan_lints s (p : P.t) =
+  let loc = P.label p in
+  let k = p.kernel in
+  let rank = Array.length k.domain in
+  List.iteri
+    (fun n st ->
+      match S.self_dependences ~iters:k.iters st with
+      | S.No_dep | S.Unknown -> ()
+      | S.Uniform deltas ->
+        if not (S.band_safe deltas) then
+          emit s ~code:"A703" ~severity:Error ~phase:Plan ~location:loc
+            ~hint:"break the self-dependence with distinct input/output buffers"
+            (Printf.sprintf
+               "statement %d (writes %s): tile fan-out would execute the \
+                mixed-sign dependence distances {%s} out of order"
+               n (stmt_target st) (deltas_str deltas))
+        else
+          (match W.hyperplane ~rank deltas with
+          | Some vec when S.schedule_ok ~rank ~vec deltas -> ()
+          | Some vec ->
+            emit s ~code:"A703" ~severity:Error ~phase:Plan ~location:loc
+              ~hint:"break the self-dependence with distinct input/output buffers"
+              (Printf.sprintf
+                 "statement %d (writes %s): wavefront hyperplane (%s) violates \
+                  a statically proven dependence distance in {%s}"
+                 n (stmt_target st)
+                 (String.concat ", "
+                    (List.map string_of_int (Array.to_list vec)))
+                 (deltas_str deltas))
+          | None ->
+            emit s ~code:"A703" ~severity:Error ~phase:Plan ~location:loc
+              ~hint:"break the self-dependence with distinct input/output buffers"
+              (Printf.sprintf
+                 "statement %d (writes %s): no constant hyperplane orders the \
+                  statically proven distances {%s}"
+                 n (stmt_target st) (deltas_str deltas))))
+    k.body
+
+let static_plan_errors p =
+  let s = sink () in
+  static_plan_lints s p;
   drain s
 
 let occupancy_lints s (p : P.t) (res : Estimate.resources) =
@@ -792,6 +962,7 @@ let bank_lints s (p : P.t) g bufs =
 let lint_plan (p : P.t) =
   let s = sink () in
   let vs = launch_findings s p in
+  static_plan_lints s p;
   let shape_ok =
     List.for_all
       (function
@@ -833,17 +1004,32 @@ let severity_rank = function
   | Warning -> 1
   | Info -> 2
 
+let phase_rank = function
+  | Dsl -> 0
+  | Plan -> 1
+
+(* Canonical rendering order: (phase, code, location), then the
+   remaining fields as tiebreakers, with exact duplicates dropped — so
+   concatenating finding lists from several analyses (or running them in
+   a different order) renders byte-identically. *)
+let order_key f =
+  (phase_rank f.phase, f.code, f.location, severity_rank f.severity, f.message,
+   f.hint)
+
+let normalize fs =
+  let sorted = List.sort (fun a b -> compare (order_key a) (order_key b)) fs in
+  let rec dedup = function
+    | a :: (b :: _ as rest) -> if a = b then dedup rest else a :: dedup rest
+    | ([ _ ] | []) as l -> l
+  in
+  dedup sorted
+
 let report fs =
-  match fs with
+  match normalize fs with
   | [] -> "no findings\n"
-  | _ ->
-    let sorted =
-      List.stable_sort
-        (fun a b -> compare (severity_rank a.severity) (severity_rank b.severity))
-        fs
-    in
+  | fs ->
     let count sev = List.length (List.filter (fun f -> f.severity = sev) fs) in
-    String.concat "\n" (List.map finding_to_string sorted)
+    String.concat "\n" (List.map finding_to_string fs)
     ^ Printf.sprintf "\n%d error(s), %d warning(s), %d info\n" (count Error)
         (count Warning) (count Info)
 
@@ -857,6 +1043,7 @@ let finding_to_json f =
       ("hint", Json.Str f.hint) ]
 
 let findings_to_json fs =
+  let fs = normalize fs in
   let count sev = List.length (List.filter (fun f -> f.severity = sev) fs) in
   Json.Obj
     [ ("schema_version", Json.Int 1);

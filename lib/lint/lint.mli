@@ -58,18 +58,21 @@ val semantic_findings : string list -> finding list
 (** Kernel-level findings: out-of-extent accesses (A201 — Warning, not
     Error, because the emitted per-statement guard skips such points),
     empty interior (A202), recompute halo (A203), dead statements
-    (A301). *)
+    (A301), plus the affine analyzer's proven-empty accesses (A701) and
+    engine-disagreement races (A703). *)
 val lint_kernel : Artemis_dsl.Instantiate.kernel -> finding list
 
 (** Program-level findings: everything [lint_kernel] reports for each
     distinct scheduled kernel, plus uninitialized reads (A103), unused
-    declarations/formals/stencils (A302/A303/A304), and dead stores
-    (A305).  The program must be [Check.check]-clean. *)
+    declarations/formals/stencils (A302/A303/A304), dead stores (A305),
+    and the affine region-level must-write dataflow (A702).  The program
+    must be [Check.check]-clean. *)
 val lint_program : Artemis_dsl.Ast.program -> finding list
 
 (** Plan-level findings: launch violations (A403/A405), occupancy-pragma
     feasibility (A401/A404), spills (A402), shared-staging hazards
-    (A101/A102), coalescing (A501), bank conflicts (A502). *)
+    (A101/A102), coalescing (A501), bank conflicts (A502), and the
+    static race detector (A703). *)
 val lint_plan : Artemis_ir.Plan.t -> finding list
 
 (** Just the Error-level launch findings (A403/A405) — the cheap subset
@@ -78,16 +81,27 @@ val lint_plan : Artemis_ir.Plan.t -> finding list
     measurable configuration. *)
 val launch_errors : Artemis_ir.Plan.t -> finding list
 
+(** Just the A703 static-race findings for a plan — dependences the
+    affine engine ([Artemis_static.Static]) proves that the plan's tile
+    fan-out or wavefront hyperplane would execute out of order.  The
+    tuner prunes candidate plans on it (counted in
+    [tuner.configs_static_pruned]) exactly as it prunes on
+    [launch_errors]. *)
+val static_plan_errors : Artemis_ir.Plan.t -> finding list
+
 val errors : finding list -> finding list
 val has_errors : finding list -> bool
 
 val finding_to_string : finding -> string
 
-(** Human-readable report: findings sorted errors-first plus a summary
-    line; ["no findings\n"] when empty. *)
+(** Human-readable report: findings deduplicated and sorted by
+    (phase, code, location) — byte-stable regardless of the order the
+    analyses emitted them — plus a summary line; ["no findings\n"] when
+    empty. *)
 val report : finding list -> string
 
 val finding_to_json : finding -> Artemis_obs.Json.t
 
-(** [{"schema_version"; "errors"; "warnings"; "findings": [...]}]. *)
+(** [{"schema_version"; "errors"; "warnings"; "findings": [...]}], with
+    the findings deduplicated and ordered exactly as [report]. *)
 val findings_to_json : finding list -> Artemis_obs.Json.t

@@ -57,20 +57,23 @@ let run_report r =
     List.filter (fun c -> decision c = "keep" || decision c = "drop") cands
   in
   let pruned = List.filter (fun c -> decision c = "lint-pruned") cands in
+  let static_pruned = List.filter (fun c -> decision c = "static-pruned") cands in
   let failed = List.filter (fun c -> decision c = "failed") cands in
   let cache_count v =
     List.length (List.filter (fun c -> str "cache" c = Some v) cands)
   in
   let hits = cache_count "hit" and misses = cache_count "miss" in
-  let prunes =
-    List.filter_map (fun c -> str "lint_code" c) pruned
+  let prunes_of cs =
+    List.filter_map (fun c -> str "lint_code" c) cs
     |> List.sort_uniq compare
     |> List.map (fun code ->
            ( code,
              Json.Int
                (List.length
-                  (List.filter (fun c -> str "lint_code" c = Some code) pruned)) ))
+                  (List.filter (fun c -> str "lint_code" c = Some code) cs)) ))
   in
+  let prunes = prunes_of pruned in
+  let static_prunes = prunes_of static_pruned in
   (* Measured candidates ranked best-first; ties keep journal order
      (stable sort), so the ranking is as deterministic as the journal. *)
   let ranked_measured =
@@ -98,6 +101,7 @@ let run_report r =
            rest)
     @ List.map (entry "failed" []) failed
     @ List.map (entry "lint-pruned" []) pruned
+    @ List.map (entry "static-pruned" []) static_pruned
   in
   let info_num k = match r.info with Some i -> num k i | None -> None in
   let info_str k = match r.info with Some i -> str k i | None -> None in
@@ -147,9 +151,12 @@ let run_report r =
       ("candidates", Json.Int (List.length cands));
       ("measured", Json.Int (List.length measured));
       ("lint_pruned", Json.Int (List.length pruned));
+      ("static_pruned", Json.Int (List.length static_pruned));
       ("failed", Json.Int (List.length failed));
       ("cache_hits", Json.Int hits); ("cache_misses", Json.Int misses);
-      ("prunes_by_code", Json.Obj prunes); ("ranked", Json.List ranked);
+      ("prunes_by_code", Json.Obj prunes);
+      ("static_prunes_by_code", Json.Obj static_prunes);
+      ("ranked", Json.List ranked);
       ("traffic", traffic) ]
 
 (* ------------------------------------------------------------------ *)
@@ -214,11 +221,13 @@ let exec_section events =
           in
           let interior = sum "interior_points" and halo = sum "halo_points" in
           let wavefront = sum "wavefront_points" and guarded = sum "guarded_points" in
-          let total = interior +. halo +. wavefront +. guarded in
-          (* Unguarded fast-path fraction: interior rows plus the flat
-             segments inside wavefront rows; halo shells and the
+          let eliminated = sum "eliminated_points" in
+          let total = interior +. halo +. wavefront +. guarded +. eliminated in
+          (* Unguarded fast-path fraction: interior rows, the flat
+             segments inside wavefront rows, and shells the analyzer
+             proved dead (skipped outright); halo shells and the
              whole-region guarded fallback pay the per-point guard. *)
-          let fast = interior +. wavefront in
+          let fast = interior +. wavefront +. eliminated in
           Json.Obj
             [ ("kernel", Json.Str kernel); ("executor", Json.Str executor);
               ("launches", Json.Int (List.length evs));
@@ -227,6 +236,7 @@ let exec_section events =
               ("halo_points", Json.Float halo);
               ("wavefront_points", Json.Float wavefront);
               ("guarded_points", Json.Float guarded);
+              ("eliminated_points", Json.Float eliminated);
               ( "interior_fraction",
                 Json.Float (if total > 0.0 then fast /. total else 0.0) ) ])
         keys
@@ -266,6 +276,7 @@ let report ?program events =
             ("candidates", Json.Int (total "candidates"));
             ("measured", Json.Int (total "measured"));
             ("lint_pruned", Json.Int (total "lint_pruned"));
+            ("static_pruned", Json.Int (total "static_pruned"));
             ("failed", Json.Int (total "failed"));
             ("cache_hits", Json.Int hits); ("cache_misses", Json.Int misses);
             ( "cache_hit_rate",
@@ -296,9 +307,11 @@ let render doc =
   | Json.Obj _ as s ->
     Printf.bprintf b
       "summary: %g tuner run(s), %g candidate(s) — %g measured, %g \
-       lint-pruned, %g failed; cache %g hit / %g miss (%.1f%% hit rate)\n"
+       lint-pruned, %g static-pruned, %g failed; cache %g hit / %g miss \
+       (%.1f%% hit rate)\n"
       (num_or "tuner_runs" s 0.0) (num_or "candidates" s 0.0)
       (num_or "measured" s 0.0) (num_or "lint_pruned" s 0.0)
+      (num_or "static_pruned" s 0.0)
       (num_or "failed" s 0.0) (num_or "cache_hits" s 0.0)
       (num_or "cache_misses" s 0.0)
       (100.0 *. num_or "cache_hit_rate" s 0.0)
@@ -328,6 +341,16 @@ let render doc =
                 prunes));
         Buffer.add_char b '\n'
       | _ -> ());
+      (match Json.member "static_prunes_by_code" r with
+      | Some (Json.Obj ((_ :: _) as prunes)) ->
+        Buffer.add_string b "  static races pruned: ";
+        Buffer.add_string b
+          (String.concat ", "
+             (List.map
+                (fun (code, n) -> Printf.sprintf "%s x%d" code (int_of n))
+                prunes));
+        Buffer.add_char b '\n'
+      | _ -> ());
       let ranked =
         match Option.bind (Json.member "ranked" r) Json.to_list_opt with
         | Some l -> l
@@ -350,6 +373,9 @@ let render doc =
               plan cache
           | "lint-pruned" ->
             Printf.bprintf b "    %2d. pruned %s  %s\n" (j + 1)
+              (str_or "lint_code" c "?") plan
+          | "static-pruned" ->
+            Printf.bprintf b "    %2d. static race %s  %s\n" (j + 1)
               (str_or "lint_code" c "?") plan
           | _ -> Printf.bprintf b "    %2d. %s  %s%s\n" (j + 1) status plan cache)
         ranked;
@@ -421,8 +447,9 @@ let render doc =
       (fun k ->
         let wavefront = num_or "wavefront_points" k 0.0 in
         let guarded = num_or "guarded_points" k 0.0 in
+        let eliminated = num_or "eliminated_points" k 0.0 in
         Printf.bprintf b
-          "  %s/%s: %g launch(es) (%g split), %s interior / %s halo points%s%s \
+          "  %s/%s: %g launch(es) (%g split), %s interior / %s halo points%s%s%s \
            (%.1f%% unguarded)\n"
           (str_or "executor" k "?") (str_or "kernel" k "?")
           (num_or "launches" k 0.0)
@@ -432,6 +459,9 @@ let render doc =
           (if wavefront > 0.0 then Printf.sprintf " / %s wavefront" (g wavefront)
            else "")
           (if guarded > 0.0 then Printf.sprintf " / %s guarded" (g guarded) else "")
+          (if eliminated > 0.0 then
+             Printf.sprintf " / %s eliminated" (g eliminated)
+           else "")
           (100.0 *. num_or "interior_fraction" k 0.0))
       (match Option.bind (Json.member "kernels" e) Json.to_list_opt with
       | Some l -> l

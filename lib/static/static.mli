@@ -1,0 +1,176 @@
+(** Affine dataflow analysis over ARTEMIS stencil programs.
+
+    The DSL restricts every array index to [iterator + shift] or a bare
+    integer constant, so each access footprint is an axis-aligned box
+    and the analysis below is {e exact} on well-formed programs: the
+    in-bounds execution set of a statement is precisely the product of
+    per-dimension intervals, dependence distances between affine access
+    pairs are constants, and "unknown" is reserved for the shapes the
+    executors themselves refuse to schedule (position-dependent
+    self-dependences).
+
+    The module is deliberately independent of [Artemis_exec]: it
+    recomputes footprints, distance vectors, and hyperplane legality
+    from the AST/spec level alone, so the executors can cross-check
+    their dynamic guard closures against a second, redundant engine
+    (guard elimination only engages when both agree). *)
+
+module A = Artemis_dsl.Ast
+module I = Artemis_dsl.Instantiate
+
+(* ------------------------------------------------------------------ *)
+(* Boxes                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type box = (int * int) array
+(** Inclusive per-dimension bounds [(lo, hi)]; empty iff some [hi < lo]. *)
+
+val box_is_empty : box -> bool
+
+val box_equal : box -> box -> bool
+(** Semantic equality: both empty, or componentwise identical. *)
+
+val box_volume : box -> int
+val box_to_string : box -> string
+
+val box_inter : box -> box -> box
+
+val box_subtract : box -> box -> box list
+(** [box_subtract a b] is a disjoint box cover of [a \ b]. *)
+
+val subtract_all : box list -> box list -> box list
+(** Pieces of the first cover not covered by the second. *)
+
+(* ------------------------------------------------------------------ *)
+(* Access specs and concrete footprints                                *)
+(* ------------------------------------------------------------------ *)
+
+type spec = (int * int) array
+(** Per array dimension: [(iteration dim, shift)]; dim [-1] marks a
+    constant index with the constant in the shift slot.  The same
+    encoding the executors compile to. *)
+
+val spec_of_index : iters:string list -> A.index list -> spec
+
+val footprint : region:box -> accesses:(int array * spec) list -> box
+(** Exact in-bounds execution set within [region]: the iteration points
+    where every listed access (given as array extents paired with its
+    spec) lands inside its array.  On this DSL that set is exactly a
+    box; the result uses [region]'s coordinates. *)
+
+val access_feasible : region:box -> dims:int array -> spec:spec -> box
+(** In-bounds set of a single access within [region]. *)
+
+val map_to_array : exec:box -> dims:int array -> spec:spec -> box
+(** Image of the executed iteration box in array index space (the cells
+    the access touches); empty when [exec] is empty. *)
+
+(* ------------------------------------------------------------------ *)
+(* Dependence testing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type dep =
+  | No_dep  (** no aliasing self-read, or provably disjoint reads only *)
+  | Uniform of int array list
+      (** constant nonzero distance vectors, read point minus write point *)
+  | Unknown  (** position-dependent distance: sound "don't know" *)
+
+val pair_delta :
+  rank:int ->
+  ?domain:int array ->
+  wspec:spec ->
+  rspec:spec ->
+  unit ->
+  [ `No_alias | `Delta of int array | `Non_uniform ]
+(** Distance of a read from a write of the same array.  Coefficients in
+    this DSL are all [1], so the GCD test is trivially satisfied and
+    disjointness comes from the Banerjee-style interval checks: distinct
+    constant slices never alias, inconsistent offsets on a repeated
+    iterator never alias, and (when [domain] is given) a constant slice
+    outside an iterator's reachable index window never aliases. *)
+
+val self_dependences : iters:string list -> A.stmt -> dep
+(** Self-dependence classification of one statement, computed purely
+    from the AST.  Mirrors the executors' gate: when the write does not
+    cover every iteration dimension, identity reads are [No_dep] and
+    anything else [Unknown]. *)
+
+val lex_sign : int array -> int
+
+val outer_components : rank:int -> int array list -> int array list
+(** Row-ordering components of full-rank deltas (innermost dim dropped). *)
+
+val schedule_ok : rank:int -> vec:int array -> int array list -> bool
+(** True when the hyperplane [vec] over the outer dimensions preserves
+    every dependence: [sign (vec . d') = lex_sign d'] for each outer
+    component [d'].  Rows sharing a wavefront are then independent. *)
+
+val band_safe : int array list -> bool
+(** True when every distance vector is componentwise same-signed, so a
+    tile-lexicographic traversal (the block executor's fan-out) agrees
+    with the point-lexicographic reference. *)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-kernel verdicts (A7xx back ends)                              *)
+(* ------------------------------------------------------------------ *)
+
+type oob = {
+  oob_kernel : string;
+  oob_stmt : int;  (** statement index in the kernel body *)
+  oob_array : string;
+  oob_dim : int;  (** offending array dimension *)
+  oob_witness : int array;  (** iteration point exhibiting the violation *)
+  oob_index : int;  (** resolved index value at the witness *)
+  oob_extent : int;
+}
+
+val never_in_bounds : I.kernel -> oob list
+(** Accesses whose in-bounds set is empty over the whole (non-empty)
+    domain: the statement provably never executes that access.  Each
+    carries a concrete witness point. *)
+
+type uninit = {
+  un_kernel : string;
+  un_stmt : int;
+  un_array : string;
+  un_region : box;  (** an uncovered sub-box of the read region *)
+}
+
+val uninit_reads : A.program -> I.sched_item list -> uninit list
+(** Region-level must-write dataflow across launches and time steps:
+    reads of a device array whose read region is not covered by the
+    union of copy-in and the must-written regions of earlier launches.
+    Arrays written anywhere in the reading kernel itself are exempt
+    (intra-kernel ordering is the syntactic linter's domain); time
+    loops are unrolled twice, which reaches the ping-pong fixpoint. *)
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic footprints                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type affine = {
+  a_base : int;
+  a_terms : (string * int) list;  (** extent-parameter coefficients *)
+}
+
+val affine_to_string : affine -> string
+
+type sym_bound = {
+  sb_lo : int;  (** constant lower bound *)
+  sb_hi : affine list;  (** upper bound: minimum over affine forms *)
+}
+
+val sym_bound_to_string : sym_bound -> string
+
+type sym_stmt = {
+  ss_stencil : string;
+  ss_stmt : int;
+  ss_write : string;
+  ss_iters : string list;
+  ss_bounds : sym_bound array;  (** per iteration dimension *)
+}
+
+val symbolic_footprints : A.program -> sym_stmt list
+(** Per-statement execution footprints as affine functions of the
+    declared extent parameters, one entry per distinct stencil
+    application in the host program. *)

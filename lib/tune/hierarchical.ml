@@ -59,11 +59,17 @@ let measure_candidate (plan : Plan.t) =
   match Lint.launch_errors sp with
   | (f : Lint.finding) :: _ -> `Lint_pruned f
   | [] -> (
-    (* The cache outcome rides along so the main-domain fold can journal
-       it without workers touching the journal. *)
-    match Measure_cache.try_measure_outcome sp with
-    | Some m, cache -> `Measured (m, cache)
-    | None, cache -> `Failed cache)
+    (* The static race detector (A703) prunes exactly like a launch
+       error: a plan whose fan-out would execute a proven dependence out
+       of order is not a measurable configuration. *)
+    match Lint.static_plan_errors sp with
+    | (f : Lint.finding) :: _ -> `Static_pruned f
+    | [] -> (
+      (* The cache outcome rides along so the main-domain fold can journal
+         it without workers touching the journal. *)
+      match Measure_cache.try_measure_outcome sp with
+      | Some m, cache -> `Measured (m, cache)
+      | None, cache -> `Failed cache))
 
 let m_configs_measured = Metrics.counter "tuner.configs_measured"
 let m_tuner_runs = Metrics.counter "tuner.runs"
@@ -136,6 +142,22 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
           [ ("phase", Json.Str phase); ("plan", Json.Str (Plan.label plan));
             ("decision", Json.Str "lint-pruned");
             ("lint_code", Json.Str f.code) ];
+      acc
+    | `Static_pruned (f : Lint.finding) ->
+      Metrics.incr
+        (Metrics.counter "tuner.configs_static_pruned" ~labels:[ ("code", f.code) ]);
+      prune ~phase ~reason:("static:" ^ f.code) plan;
+      if Journal.enabled () then begin
+        Journal.append "tuner.candidate"
+          [ ("phase", Json.Str phase); ("plan", Json.Str (Plan.label plan));
+            ("decision", Json.Str "static-pruned");
+            ("lint_code", Json.Str f.code) ];
+        (* The dedicated event carries the proof detail (which statement,
+           which distances) so explain can say why the plan is racy. *)
+        Journal.append "tuner.static"
+          [ ("phase", Json.Str phase); ("plan", Json.Str (Plan.label plan));
+            ("code", Json.Str f.code); ("detail", Json.Str f.message) ]
+      end;
       acc
     | `Measured ((m : Analytic.measurement), cache) ->
       incr explored;

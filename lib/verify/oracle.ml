@@ -6,6 +6,7 @@ module Plan = Artemis_ir.Plan
 module Counters = Artemis_gpu.Counters
 module E = Artemis_exec
 module Lint = Artemis_lint.Lint
+module S = Artemis_static.Static
 module Trace = Artemis_obs.Trace
 
 type mismatch =
@@ -14,6 +15,7 @@ type mismatch =
   | Schedule_counter_mismatch of { detail : string }
   | Lint_error of { code : string; detail : string }
   | Wavefront_mismatch of { executor : string; array : string; diff : float }
+  | Static_mismatch of { kernel : string; stmt : int; detail : string }
   | Crash of { detail : string }
 
 let mismatch_to_string = function
@@ -30,6 +32,10 @@ let mismatch_to_string = function
       "wavefront mismatch: %s executor's %s differs by %g with the wavefront \
        schedule disabled"
       executor array diff
+  | Static_mismatch { kernel; stmt; detail } ->
+    Printf.sprintf "static analyzer disagrees with dynamic behavior (%s, \
+                    statement %d): %s"
+      kernel stmt detail
   | Crash { detail } -> Printf.sprintf "crash: %s" detail
 
 type verdict =
@@ -67,6 +73,140 @@ let kernels_of_schedule sched =
 
 let crash e =
   Checked { plans = 0; mismatches = [ Crash { detail = Printexc.to_string e } ] }
+
+(* Invariant 5: the affine analyzer ([Artemis_static.Static]) agrees
+   with dynamic behavior on the program's own (plain) schedule.
+
+   Footprints — for every statement, the analyzer's in-bounds box must
+   contain exactly the domain points the executors' guard accepts: the
+   write coordinates land in the target and [Eval.guard] (the executed
+   read guard itself, not a re-derivation) passes.  Dependences — the
+   analyzer's self-dependence verdict must match the executors'
+   classification distance for distance, and any hyperplane the wavefront
+   schedule would choose must satisfy the analyzer's legality test. *)
+let static_mismatches (prog : A.program) =
+  let acc = ref [] in
+  let kernels = kernels_of_schedule (I.schedule prog) in
+  List.iter
+    (fun (k : I.kernel) ->
+      let rank = Array.length k.domain in
+      let push stmt detail =
+        acc := Static_mismatch { kernel = "kernel " ^ k.I.kname; stmt; detail } :: !acc
+      in
+      let domain_box = Array.map (fun n -> (0, n - 1)) k.domain in
+      let temps = Hashtbl.create 4 in
+      let dims_of a =
+        if Hashtbl.mem temps a then k.domain
+        else
+          match List.assoc_opt a k.arrays with
+          | Some d -> d
+          | None -> invalid_arg ("static_mismatches: unbound array " ^ a)
+      in
+      (* Guard probing only needs extents, never values: back every array
+         (and temp) with a fresh grid of the right shape. *)
+      let grids = Hashtbl.create 8 in
+      let grid_of a =
+        match Hashtbl.find_opt grids a with
+        | Some g -> g
+        | None ->
+          let g = E.Grid.create (dims_of a) in
+          Hashtbl.replace grids a g;
+          g
+      in
+      let env =
+        {
+          E.Eval.lookup_array = grid_of;
+          lookup_scalar = (fun _ -> 0.0);
+          lookup_temp = (fun _ -> 0.0);
+          iters = k.iters;
+        }
+      in
+      let identity_idx = List.map (fun it -> A.index ~iter:it 0) k.iters in
+      let in_box (box : S.box) p =
+        let ok = ref true in
+        Array.iteri (fun d (lo, hi) -> if p.(d) < lo || p.(d) > hi then ok := false) box;
+        !ok
+      in
+      let iter_domain f =
+        let p = Array.make (max rank 1) 0 in
+        let rec go d = if d = rank then f p
+          else for c = 0 to k.domain.(d) - 1 do p.(d) <- c; go (d + 1) done
+        in
+        go 0
+      in
+      List.iteri
+        (fun si st ->
+          let target, idx, e =
+            match st with
+            | A.Decl_temp (t, e) ->
+              Hashtbl.replace temps t ();
+              (t, identity_idx, e)
+            | A.Assign (a, idx, e) | A.Accum (a, idx, e) -> (a, idx, e)
+          in
+          (* Footprint agreement, point by point over the whole domain. *)
+          let accesses =
+            (dims_of target, S.spec_of_index ~iters:k.iters idx)
+            :: List.map
+                 (fun (arr, idx') ->
+                   (dims_of arr, S.spec_of_index ~iters:k.iters idx'))
+                 (A.reads_of_expr e)
+          in
+          let fp = S.footprint ~region:domain_box ~accesses in
+          let reported = ref false in
+          iter_domain (fun p ->
+              if not !reported then begin
+                let wg = grid_of target in
+                let dyn =
+                  E.Grid.in_bounds wg (E.Eval.access_coords env p idx)
+                  && E.Eval.guard env p e
+                in
+                let stat = in_box fp p in
+                if dyn <> stat then begin
+                  reported := true;
+                  push si
+                    (Printf.sprintf
+                       "footprint %s %s point (%s) the executed guard %s"
+                       (S.box_to_string fp)
+                       (if stat then "contains" else "omits")
+                       (String.concat ", "
+                          (List.map string_of_int (Array.to_list p)))
+                       (if dyn then "accepts" else "rejects"))
+                end
+              end);
+          (* Dependence-verdict agreement and hyperplane legality. *)
+          match
+            (S.self_dependences ~iters:k.iters st,
+             E.Wavefront.stmt_self_deps ~iters:k.iters st)
+          with
+          | S.No_dep, E.Wavefront.No_dep | S.Unknown, E.Wavefront.Non_uniform -> ()
+          | S.Uniform sd, E.Wavefront.Uniform wd
+            when List.sort compare sd = List.sort compare wd -> (
+            match E.Wavefront.hyperplane ~rank wd with
+            | Some vec when not (S.schedule_ok ~rank ~vec sd) ->
+              push si
+                (Printf.sprintf
+                   "chosen hyperplane (%s) fails the analyzer's legality test"
+                   (String.concat ", "
+                      (List.map string_of_int (Array.to_list vec))))
+            | Some _ | None -> ())
+          | sv, wv ->
+            let s_str = function
+              | S.No_dep -> "No_dep"
+              | S.Uniform ds -> Printf.sprintf "Uniform(%d)" (List.length ds)
+              | S.Unknown -> "Unknown"
+            in
+            let w_str = function
+              | E.Wavefront.No_dep -> "No_dep"
+              | E.Wavefront.Uniform ds -> Printf.sprintf "Uniform(%d)" (List.length ds)
+              | E.Wavefront.Non_uniform -> "Non_uniform"
+            in
+            push si
+              (Printf.sprintf "dependence verdicts disagree: analyzer %s vs \
+                               executors %s"
+                 (s_str sv) (w_str wv)))
+        k.body)
+    kernels;
+  List.rev !acc
 
 let check ?(lint = false) (prog : A.program) (trial : Sampler.trial) =
   Trace.with_span "verify.trial" ~attrs:[ ("trial", Str (Sampler.trial_label trial)) ]
@@ -194,6 +334,12 @@ let check ?(lint = false) (prog : A.program) (trial : Sampler.trial) =
                 k.body)
             kernels
         in
+        (* Invariant 5: analyzer verdicts agree with dynamic behavior —
+           footprints match the executed guards point for point, and
+           dependence verdicts match the executors' classification. *)
+        (match static_mismatches prog with
+        | exception e -> push (Crash { detail = Printexc.to_string e })
+        | ms -> List.iter push ms);
         if self_dependent && E.Eval.wavefront_enabled () then
           E.Eval.with_wavefront false (fun () ->
               let compare_outputs executor base store =

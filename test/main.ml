@@ -20,6 +20,7 @@ let () =
       Test_journal.tests;
       Test_fuse.tests;
       Test_lint.tests;
+      Test_static.tests;
       Test_verify.tests;
       Test_par.tests;
       Test_suite_bench.tests;

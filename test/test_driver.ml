@@ -97,4 +97,51 @@ let tests =
           let b = Suite.find "7pt-smoother" in
           let k = Artemis.first_kernel b.prog in
           Alcotest.(check string) "name" "jacobi7" k.Artemis.Instantiate.kname);
+      (* lint and analyze share one findings function in the driver, so
+         their exit codes must agree: non-zero iff any Error-level
+         finding.  Pinned over a clean, a warning-only, and an
+         Error-carrying program. *)
+      case "lint and analyze agree on exit codes" (fun () ->
+          let artemisc = "../bin/artemisc.exe" in
+          Alcotest.(check bool) "artemisc built" true (Sys.file_exists artemisc);
+          let status cmd path =
+            Sys.command
+              (Printf.sprintf "%s %s %s > /dev/null 2>&1" artemisc cmd
+                 (Filename.quote path))
+          in
+          List.iter
+            (fun (label, errors_expected, src) ->
+              let path = Filename.temp_file "artemis_cli" ".stc" in
+              Fun.protect
+                ~finally:(fun () -> Sys.remove path)
+                (fun () ->
+                  let oc = open_out path in
+                  output_string oc src;
+                  close_out oc;
+                  let l = status "lint" path and a = status "analyze" path in
+                  Alcotest.(check int) (label ^ ": analyze exit = lint exit") l a;
+                  Alcotest.(check bool)
+                    (label ^ ": non-zero iff errors")
+                    errors_expected (l <> 0);
+                  let lp = status "lint --plan" path
+                  and ap = status "analyze --plan" path in
+                  Alcotest.(check int)
+                    (label ^ ": --plan exits agree")
+                    lp ap))
+            [
+              ( "clean",
+                false,
+                {|parameter L=8; iterator i; double u[L], v[L]; copyin v;
+                  stencil s0 (x, y) { x[i] = y[i]; } s0 (u, v); copyout u;|} );
+              ( "warning-only",
+                false,
+                {|parameter L=8; iterator i; double u[L], v[L], w[L]; copyin v;
+                  stencil s0 (x, y) { x[i+1] = y[i]; }
+                  stencil s1 (x, y) { x[i] = y[i]; }
+                  s0 (u, v); s1 (w, u); copyout w;|} );
+              ( "error",
+                true,
+                {|parameter L=8; iterator i; double u[L], v[1]; copyin v;
+                  stencil s0 (x, y) { x[i] = y[i+1]; } s0 (u, v); copyout u;|} );
+            ]);
     ] )

@@ -407,7 +407,23 @@ let a602 =
 (* ------------------------------------------------------------------ *)
 
 let misc =
-  [ case "A001 wraps checker output" (fun () ->
+  [ case "rendering is byte-stable under finding order and duplication"
+      (fun () ->
+        (* Findings from several analyses concatenated in any order (with
+           exact duplicates) must render identically: report and JSON
+           sort by (phase, code, location) and dedupe. *)
+        let src =
+          {|parameter L=8; iterator i; double u[L], v[1]; copyin v;
+            stencil s0 (x, y) { x[i] = y[i+1]; } s0 (u, v); copyout u;|}
+        in
+        let fs = lint_prog src @ lint_plan hazard_src in
+        let shuffled = List.rev fs @ fs in
+        Alcotest.(check string) "report stable" (Lint.report fs)
+          (Lint.report shuffled);
+        Alcotest.(check string) "json stable"
+          (Artemis.Json.to_string (Lint.findings_to_json fs))
+          (Artemis.Json.to_string (Lint.findings_to_json shuffled)));
+    case "A001 wraps checker output" (fun () ->
         let prog =
           Artemis.Parser.parse_program
             {|parameter L=8, L=9; iterator i; double u[L];
@@ -558,8 +574,70 @@ let validate_cases =
         Alcotest.(check bool) "counter present" true
           (contains ~sub:"tuner.configs_lint_pruned" snap)) ]
 
+(* ------------------------------------------------------------------ *)
+(* Affine dataflow backed codes (A7xx)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let a701 =
+  prog_pair "A701"
+    ~bad:
+      {|parameter L=8; iterator i; double u[L], v[1]; copyin v;
+        stencil s0 (x, y) { x[i] = y[i+1]; } s0 (u, v); copyout u;|}
+    ~good:
+      {|parameter L=8; iterator i; double u[L], v[9]; copyin v;
+        stencil s0 (x, y) { x[i] = y[i+1]; } s0 (u, v); copyout u;|}
+
+let a702 =
+  prog_pair "A702"
+    ~bad:
+      (* s0's guarded write covers only u[1..7]; s1 then reads u[0]. *)
+      {|parameter L=8; iterator i; double u[L], v[L], w[L]; copyin v;
+        stencil s0 (x, y) { x[i+1] = y[i]; }
+        stencil s1 (x, y) { x[i] = y[i]; }
+        s0 (u, v); s1 (w, u); copyout w;|}
+    ~good:
+      {|parameter L=8; iterator i; double u[L], v[L], w[L]; copyin v;
+        stencil s0 (x, y) { x[i] = y[i]; }
+        stencil s1 (x, y) { x[i] = y[i]; }
+        s0 (u, v); s1 (w, u); copyout w;|}
+
+let a703_bad_src =
+  {|parameter L=8, M=8; iterator i, j; double u[L,M]; copyin u;
+    stencil s0 (x) { x[i][j] = x[i-1][j+1]; } s0 (u); copyout u;|}
+
+let a703_good_src =
+  {|parameter L=8, M=8; iterator i, j; double u[L,M]; copyin u;
+    stencil s0 (x) { x[i][j] = x[i-1][j-1]; } s0 (u); copyout u;|}
+
+let a703 =
+  [ case "A703 fires on a mixed-sign dependence under tile fan-out" (fun () ->
+        assert_has "A703" (lint_plan a703_bad_src));
+    case "A703 clean on a band-safe self-dependence" (fun () ->
+        assert_not "A703" (lint_plan a703_good_src));
+    case "static_plan_errors exposes only Error-level A7xx" (fun () ->
+        let errs = Lint.static_plan_errors (plan_of a703_bad_src) in
+        Alcotest.(check bool) "nonempty" true (errs <> []);
+        List.iter
+          (fun (f : Lint.finding) ->
+            Alcotest.(check string) "code" "A703" f.code;
+            Alcotest.(check bool) "severity" true (f.severity = Lint.Error))
+          errs;
+        Alcotest.(check (list int)) "clean counterpart" []
+          (List.map (fun _ -> 0)
+             (Lint.static_plan_errors (plan_of a703_good_src))));
+    case "tuner static-pruning is visible in metrics" (fun () ->
+        Artemis.Metrics.reset ();
+        let k = Artemis.first_kernel (Artemis.parse_string a703_bad_src) in
+        let p = Artemis.Lower.lower Artemis.Device.p100 k O.default in
+        (match Artemis.Hierarchical.tune p with
+         | _ -> ()
+         | exception _ -> ());
+        let snap = Artemis.Json.to_string (Artemis.Metrics.snapshot ()) in
+        Alcotest.(check bool) "counter present" true
+          (contains ~sub:"tuner.configs_static_pruned" snap)) ]
+
 let tests =
   ( "lint",
     a103 @ a104 @ a201 @ a202 @ a203 @ a301 @ a302 @ a303 @ a304 @ a305 @ a101 @ a102
-    @ a401 @ a402 @ a403 @ a404 @ a405 @ a501 @ a502 @ a601 @ a602 @ misc @ pinned
-    @ validate_cases )
+    @ a401 @ a402 @ a403 @ a404 @ a405 @ a501 @ a502 @ a601 @ a602 @ a701 @ a702
+    @ a703 @ misc @ pinned @ validate_cases )

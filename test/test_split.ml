@@ -363,22 +363,46 @@ let fuzz_mode_cases =
 
 let metrics_tests =
   [
-    case "split sweeps feed the interior/halo counters" (fun () ->
+    case "split sweeps feed the interior/eliminated counters" (fun () ->
         let m_int = Metrics.counter "exec.interior_points" in
         let m_halo = Metrics.counter "exec.halo_points" in
+        let m_elim = Metrics.counter "exec.eliminated_points" in
         let before_int = Metrics.counter_value m_int in
         let before_halo = Metrics.counter_value m_halo in
+        let before_elim = Metrics.counter_value m_elim in
         let b = Suite.at_size 12 (Suite.find "7pt-smoother") in
         ignore (reference_outputs Split b.prog);
         Alcotest.(check bool) "interior points counted" true
           (Metrics.counter_value m_int > before_int);
-        Alcotest.(check bool) "halo points counted" true
+        (* under static elimination (the default) the shells are proven
+           dead and skipped, not swept as halo *)
+        Alcotest.(check bool) "shells eliminated" true
+          (Metrics.counter_value m_elim > before_elim);
+        Alcotest.(check (float 0.0)) "no halo points under elimination"
+          before_halo (Metrics.counter_value m_halo);
+        (* with elimination off, the shells take the guarded halo path *)
+        let after_elim = Metrics.counter_value m_elim in
+        Eval.with_static_elim false (fun () ->
+            ignore (reference_outputs Split b.prog));
+        Alcotest.(check bool) "halo points counted without elimination" true
           (Metrics.counter_value m_halo > before_halo);
+        Alcotest.(check (float 0.0)) "elimination off adds none" after_elim
+          (Metrics.counter_value m_elim);
         (* the guarded baseline never touches the interior counter *)
         let after_int = Metrics.counter_value m_int in
         ignore (reference_outputs Compiled b.prog);
         Alcotest.(check (float 0.0)) "baseline adds none" after_int
           (Metrics.counter_value m_int));
+    case "elimination on/off bit-identical on suite programs" (fun () ->
+        List.iter
+          (fun bname ->
+            let b = Suite.at_size 12 (Suite.find bname) in
+            check_identical
+              (bname ^ ": elim on vs off")
+              (reference_outputs Split b.prog)
+              (Eval.with_static_elim false (fun () ->
+                   reference_outputs Split b.prog)))
+          [ "7pt-smoother"; "denoise"; "rhs4center" ]);
   ]
 
 (* ---------------- wavefront schedule ---------------- *)
