@@ -3,7 +3,7 @@
 TRACE   := /tmp/artemis-trace.json
 REPORT  := /tmp/artemis-report.json
 
-.PHONY: all build test check bench trace-smoke lint-smoke analyze-smoke fuzz-smoke perf-smoke wavefront-smoke obs-smoke clean
+.PHONY: all build test check bench trace-smoke lint-smoke analyze-smoke fuzz-smoke perf-smoke wavefront-smoke tb-smoke obs-smoke clean
 
 all: build
 
@@ -24,6 +24,7 @@ check:
 	$(MAKE) fuzz-smoke
 	$(MAKE) perf-smoke
 	$(MAKE) wavefront-smoke
+	$(MAKE) tb-smoke
 	$(MAKE) obs-smoke
 
 bench:
@@ -80,6 +81,13 @@ perf-smoke:
 # bit while actually sweeping wavefront segments.
 wavefront-smoke:
 	dune exec bench/main.exe -- wavefront-smoke
+
+# Temporal-blocking smoke test (docs/PERF.md): degree-4 blocked
+# execution of the 7-point smoother must match the plain ping-pong
+# schedule bit for bit, and deep tuning with --max-degree 4 must pick a
+# degree above 1 with lower modeled per-step DRAM traffic.
+tb-smoke:
+	dune exec bench/main.exe -- tb-smoke
 
 # Provenance smoke test (docs/OBSERVABILITY.md): the explain report must
 # be byte-identical at jobs=1 and jobs=4 (every tuner decision journaled

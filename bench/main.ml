@@ -184,9 +184,11 @@ let table1 () =
     (fun (b : Suite.t) ->
       let flops, order, arrays = Suite.characteristics b in
       let e = b.expect in
-      Printf.printf "%-14s %4d^3 %6d %3d %8d %12d   %s\n" b.name b.domain
+      let rank = List.length b.prog.Artemis.Ast.params in
+      Printf.printf "%-14s %4d^%d %6d %3d %8d %12d   %s\n" b.name b.domain rank
         b.time_steps order flops arrays
-        (if flops = e.flops && order = e.order && arrays = e.arrays then "(= paper)"
+        (if flops = e.flops && order = e.order && arrays = e.arrays then
+           "(= paper)"
          else "(MISMATCH vs paper!)"))
     Suite.all
 
@@ -1153,7 +1155,94 @@ let jobs_determinism () =
       Artemis.Pool.set_jobs 1;
       (outputs_equal o1 o4, j1 = j4))
 
-let write_exec_json matrix dep_rows elim_rows (jobs_outs_eq, jobs_journal_eq) =
+(* ------------------------------------------------------------------ *)
+(* Degree-N temporal blocking: traffic reduction and exactness          *)
+(* ------------------------------------------------------------------ *)
+
+(* The blocked executor must be semantically exact: one launch covering
+   b inner time steps replaces b ping-pong launches bit for bit.  The
+   comparison runs the full schedule both ways through the block
+   executor at a reduced size; blocked plans are re-shrunk because the
+   deeper halo windows can outgrow shared memory at the degree-1 block
+   shape (the fuzz oracle applies the same re-shrink). *)
+let rec shrink_blocked steps =
+  List.map
+    (function
+      | Artemis.Runner.Run_plan p when p.Plan.temporal.Plan.degree > 1 ->
+        Artemis.Runner.Run_plan (Artemis_verify.Sampler.shrink_valid p 12)
+      | Artemis.Runner.Loop (n, sub) -> Artemis.Runner.Loop (n, shrink_blocked sub)
+      | step -> step)
+    steps
+
+let temporal_blocked_equal (b : Suite.t) ~size ~degree =
+  let prog = (Suite.at_size size b).prog in
+  let scalars = Artemis.Reference.scalars_of_program prog in
+  let sched = I.schedule prog in
+  let copyouts store =
+    List.map
+      (fun n -> (n, Artemis_exec.Grid.copy (Artemis.Reference.find_array store n)))
+      prog.copyout
+  in
+  let run steps =
+    let store = Artemis.Reference.store_of_program prog in
+    let _ = Artemis.Runner.run_schedule steps store ~scalars in
+    copyouts store
+  in
+  let steps = Artemis.Runner.configure ~plan_of:exec_plan_of sched in
+  let plain = run steps in
+  let blocked =
+    run (shrink_blocked (Artemis.Runner.temporal_rewrite ~degree steps))
+  in
+  outputs_equal plain blocked
+
+(* The smoother-family benchmarks deep-tuned with the temporal dimension
+   enabled.  Per benchmark: the chosen (fusion width x degree), the
+   modeled per-time-step DRAM traffic of the blocked winner against the
+   unblocked phase-1 winner at the same fusion width, and the per-sweep
+   speedup.  The traffic ratio isolates the temporal dimension: both
+   sides share the spatial fusion width. *)
+let temporal_deep_names =
+  [ "7pt-smoother"; "jacobi7-iter"; "27pt-smoother"; "helmholtz";
+    "smooth2d-iter" ]
+
+let best_version (dr : Artemis.deep_result) =
+  List.fold_left
+    (fun acc (v : Artemis.Deep.version) ->
+      match acc with
+      | Some (a : Artemis.Deep.version) when a.time_per_sweep <= v.time_per_sweep
+        -> acc
+      | _ -> Some v)
+    None dr.deep.versions
+
+let temporal_deep_rows () =
+  List.filter_map
+    (fun name ->
+      let b = Suite.find name in
+      let dr = Artemis.deep_tune ~max_tile:4 ~max_degree:4 b.prog in
+      match best_version dr with
+      | None -> None
+      | Some v ->
+        let x = float_of_int v.time_tile in
+        let steps = float_of_int (Artemis.Deep.steps_covered v) in
+        let per_step_unblocked = v.record.phase1_best.counters.C.dram_bytes /. x in
+        let per_step_blocked = v.record.best.counters.C.dram_bytes /. steps in
+        let reduction = per_step_unblocked /. Float.max per_step_blocked 1.0 in
+        let speedup =
+          v.record.phase1_best.time_s /. x /. Float.max v.time_per_sweep 1e-15
+        in
+        Some (name, v.time_tile, v.degree, reduction, speedup))
+    temporal_deep_names
+
+let temporal_equal_rows () =
+  List.filter_map
+    (fun (b : Suite.t) ->
+      if b.iterative then
+        Some (b.name, temporal_blocked_equal b ~size:20 ~degree:4)
+      else None)
+    Suite.all
+
+let write_exec_json matrix dep_rows elim_rows (jobs_outs_eq, jobs_journal_eq)
+    temporal_rows temporal_eq =
   let module J = Artemis.Json in
   let speedup_vs_compiled, speedup_vs_interp, equal = exec_report matrix in
   let dep_speedup, dep_equal = dependent_report dep_rows in
@@ -1214,6 +1303,25 @@ let write_exec_json matrix dep_rows elim_rows (jobs_outs_eq, jobs_journal_eq) =
         ("speedup_unguarded_points", J.Float elim_ratio);
         ("unguarded_fraction_increased", J.Bool elim_increased);
         ("elimination_outputs_equal", J.Bool elim_equal);
+        ("temporal",
+         J.List
+           (List.map
+              (fun (name, tile, degree, reduction, speedup) ->
+                J.Obj
+                  [ ("name", J.Str name);
+                    ("chosen_tile", J.Str (string_of_int tile));
+                    ("chosen_degree", J.Str (string_of_int degree));
+                    ("chosen_degree_gt1", J.Bool (degree > 1));
+                    ("dram_traffic_reduction", J.Float reduction);
+                    ("speedup_temporal_vs_unblocked", J.Float speedup) ])
+              temporal_rows));
+        ("temporal_blocked",
+         J.List
+           (List.map
+              (fun (name, eq) ->
+                J.Obj
+                  [ ("name", J.Str name); ("blocked_outputs_equal", J.Bool eq) ])
+              temporal_eq));
         ("jobs_outputs_equal", J.Bool jobs_outs_eq);
         ("jobs_journal_equal", J.Bool jobs_journal_eq);
         ("outputs_equal", J.Bool equal);
@@ -1268,7 +1376,20 @@ let exec_bench () =
   header "Jobs determinism: grids and journal at jobs=1 vs jobs=4";
   let (jobs_outs_eq, jobs_journal_eq) as jobs_eq = jobs_determinism () in
   Printf.printf "outputs equal %b, journal equal %b\n%!" jobs_outs_eq jobs_journal_eq;
-  write_exec_json matrix dep_rows elim_rows jobs_eq
+  header "Degree-N temporal blocking: chosen degrees and DRAM traffic";
+  let temporal_rows = temporal_deep_rows () in
+  List.iter
+    (fun (name, tile, degree, reduction, speedup) ->
+      Printf.printf
+        "%-14s chosen (%dx%d)  DRAM/step %.2fx lower  per-sweep %.2fx\n%!" name
+        tile degree reduction speedup)
+    temporal_rows;
+  header "Blocked execution vs ping-pong: bit-exactness on the suite";
+  let temporal_eq = temporal_equal_rows () in
+  List.iter
+    (fun (name, eq) -> Printf.printf "%-14s blocked outputs equal %b\n%!" name eq)
+    temporal_eq;
+  write_exec_json matrix dep_rows elim_rows jobs_eq temporal_rows temporal_eq
 
 (* Hidden smoke variant (`make perf-smoke`): one suite program, split vs
    compiled baseline, hard assertions on output equality and on the
@@ -1296,6 +1417,44 @@ let exec_smoke () =
     prerr_endline "exec-smoke FAILED: split path never took the interior fast path";
     exit 1
   end
+
+(* Hidden smoke variant (`make tb-smoke`): degree-4 blocked execution of
+   the 7-point smoother must match the plain ping-pong schedule bit for
+   bit, and deep tuning with the temporal dimension enabled must
+   actually choose a degree above 1 with lower modeled per-step DRAM
+   traffic. *)
+let tb_smoke () =
+  header "temporal smoke: blocked exactness and degree selection (7pt-smoother)";
+  let b = Suite.find "7pt-smoother" in
+  let equal = temporal_blocked_equal b ~size:16 ~degree:4 in
+  Printf.printf "blocked outputs identical %b\n%!" equal;
+  if not equal then begin
+    prerr_endline
+      "tb-smoke FAILED: blocked execution differs from the ping-pong schedule";
+    exit 1
+  end;
+  let dr = Artemis.deep_tune ~max_tile:2 ~max_degree:4 b.prog in
+  match best_version dr with
+  | None ->
+    prerr_endline "tb-smoke FAILED: deep tuning produced no versions";
+    exit 1
+  | Some v ->
+    let x = float_of_int v.time_tile in
+    let steps = float_of_int (Artemis.Deep.steps_covered v) in
+    let reduction =
+      v.record.phase1_best.counters.C.dram_bytes /. x
+      /. Float.max (v.record.best.counters.C.dram_bytes /. steps) 1.0
+    in
+    Printf.printf "chosen version (%dx%d), DRAM/step %.2fx lower\n%!" v.time_tile
+      v.degree reduction;
+    if v.degree <= 1 then begin
+      prerr_endline "tb-smoke FAILED: the tuner never chose a temporal degree > 1";
+      exit 1
+    end;
+    if reduction <= 1.0 then begin
+      prerr_endline "tb-smoke FAILED: blocking did not lower modeled DRAM traffic";
+      exit 1
+    end
 
 (* Hidden smoke variant (`make wavefront-smoke`): one small Gauss-Seidel
    case, wavefront schedule vs guarded fallback, hard assertions on
@@ -1335,7 +1494,7 @@ let all_experiments =
 (* Runnable by explicit name only — not part of the default sweep. *)
 let hidden_experiments =
   [ ("tuner-smoke", tuner_smoke); ("exec-smoke", exec_smoke);
-    ("wavefront-smoke", wavefront_smoke) ]
+    ("wavefront-smoke", wavefront_smoke); ("tb-smoke", tb_smoke) ]
 
 let () =
   Printf.printf "ARTEMIS reproduction benchmarks — %s\n%!"

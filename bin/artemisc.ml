@@ -82,6 +82,23 @@ let jobs_arg =
 
 let set_jobs jobs = Option.iter Artemis.Pool.set_jobs jobs
 
+let max_degree_arg =
+  Arg.(value & opt int 1
+       & info [ "max-degree" ] ~docv:"N"
+           ~doc:"Let the tuner explore degree-N temporal blocking of the \
+                 ping-pong time loop up to degree $(docv) (powers of two; \
+                 default 1 = off)")
+
+(** The ping-pong (out, inp) pair of a program's time loop, if any — what
+    temporal blocking needs to attach to a plan. *)
+let pingpong_pair_of prog =
+  List.find_map
+    (fun item ->
+      Option.map
+        (fun (_, _, out, inp) -> (out, inp))
+        (Artemis.Fusion.pingpong_of_item item))
+    (Artemis.Instantiate.schedule prog)
+
 let cache_dir_arg =
   Arg.(value & opt (some string) None
        & info [ "cache-dir" ] ~docv:"DIR"
@@ -560,14 +577,18 @@ let optimize_cmd =
     Arg.(value & flag & info [ "iterative" ]
            ~doc:"Apply the fusion guideline for time-iterated stencils")
   in
-  let run trace jobs cache_dir path out iterative report_json =
+  let run trace jobs cache_dir path out iterative max_degree report_json =
     with_trace trace @@ fun () ->
     set_jobs jobs;
     set_cache_dir cache_dir;
     match read_program path with
     | `Ok prog ->
       let k = Artemis.first_kernel prog in
-      let r = Artemis.optimize_kernel ~iterative k in
+      let r =
+        Artemis.optimize_kernel ~iterative ~max_degree
+          ?pingpong:(if max_degree > 1 then pingpong_pair_of prog else None)
+          k
+      in
       Printf.printf "baseline : %.3f TFLOPS  [%s]\n" r.baseline.tflops
         (Artemis.Classify.verdict_to_string r.baseline_profile.verdict);
       Printf.printf "tuned    : %.3f TFLOPS  %s\n" r.tuned.tflops
@@ -605,7 +626,7 @@ let optimize_cmd =
     Term.(
       ret
         (const run $ trace_arg $ jobs_arg $ cache_dir_arg $ path_arg $ out_arg
-         $ iterative $ report_json_arg))
+         $ iterative $ max_degree_arg $ report_json_arg))
 
 (* ---------------- deep ---------------- *)
 
@@ -618,6 +639,8 @@ let deep_json (dr : Artemis.deep_result) schedule time =
             (fun (v : Artemis.Deep.version) ->
               Json.Obj
                 [ ("time_tile", Json.Int v.time_tile);
+                  ("degree", Json.Int v.degree);
+                  ("steps_covered", Json.Int (Artemis.Deep.steps_covered v));
                   ("plan", Json.Str (Artemis.Plan.label v.record.best.plan));
                   ("tflops", Json.Float v.record.best.tflops);
                   ("time_s", Json.Float v.record.best.time_s);
@@ -637,17 +660,17 @@ let deep_cmd =
            ~doc:"Build the fusion schedule for $(docv) iterations instead of \
                  the program's own count")
   in
-  let run trace jobs cache_dir path iterations report_json =
+  let run trace jobs cache_dir path iterations max_degree report_json =
     with_trace trace @@ fun () ->
     set_jobs jobs;
     set_cache_dir cache_dir;
     match read_program path with
     | `Ok prog -> (
       try
-        let dr = Artemis.deep_tune prog in
+        let dr = Artemis.deep_tune ~max_degree prog in
         List.iter
           (fun (v : Artemis.Deep.version) ->
-            Printf.printf "(%dx1): %.3f TFLOPS  [%s]\n" v.time_tile
+            Printf.printf "(%dx%d): %.3f TFLOPS  [%s]\n" v.time_tile v.degree
               v.record.best.tflops
               (Artemis.Classify.verdict_to_string v.profile.verdict))
           dr.deep.versions;
@@ -672,7 +695,7 @@ let deep_cmd =
     Term.(
       ret
         (const run $ trace_arg $ jobs_arg $ cache_dir_arg $ path_arg $ iterations
-         $ report_json_arg))
+         $ max_degree_arg $ report_json_arg))
 
 (* ---------------- bench ---------------- *)
 
@@ -767,7 +790,8 @@ let explain_cmd =
     | Json.Obj fields -> Json.Obj (fields @ [ ("plans", Json.List plans) ])
     | other -> other
   in
-  let run trace jobs cache_dir path bench plan json journal deep max_tile =
+  let run trace jobs cache_dir path bench plan json journal deep max_tile
+      max_degree =
     with_trace trace @@ fun () ->
     set_jobs jobs;
     set_cache_dir cache_dir;
@@ -788,15 +812,20 @@ let explain_cmd =
     | `Error _ as e -> e
     | `Ok (prog, label, iterative) -> (
       Artemis.Journal.start ();
+      let pingpong =
+        if max_degree > 1 then pingpong_pair_of prog else None
+      in
       let results =
-        List.map (fun k -> Artemis.optimize_kernel ~iterative k) (kernels_of prog)
+        List.map
+          (fun k -> Artemis.optimize_kernel ~iterative ~max_degree ?pingpong k)
+          (kernels_of prog)
       in
       (* Iterative benchmarks get the Section VI-A flow too, so the
          journal covers the DP decision; --deep demands it and fails
          loudly on programs with no ping-pong loop. *)
       let deep_error =
         if deep || iterative then
-          match Artemis.deep_tune ?max_tile prog with
+          match Artemis.deep_tune ?max_tile ~max_degree prog with
           | (_ : Artemis.deep_result) -> None
           | exception Invalid_argument msg -> if deep then Some msg else None
         else None
@@ -842,7 +871,7 @@ let explain_cmd =
       ret
         (const run $ trace_arg $ jobs_arg $ cache_dir_arg $ path_opt_arg
          $ bench_arg $ plan_arg $ json_arg $ journal_arg $ deep_flag
-         $ max_tile_arg))
+         $ max_tile_arg $ max_degree_arg))
 
 (* ---------------- bench-diff ---------------- *)
 

@@ -24,7 +24,7 @@ type expectation = {
 type t = {
   name : string;  (** Table-I display name, e.g. "7pt-smoother" *)
   family : family;
-  domain : int;  (** cube edge: 512 or 320 *)
+  domain : int;  (** domain edge: 512 or 320 (3-D rows), 2048 (2-D) *)
   time_steps : int;  (** the T column *)
   iterative : bool;
   prog : Artemis_dsl.Ast.program;
@@ -34,13 +34,16 @@ type t = {
 
 val family_to_string : family -> string
 
-(** All eleven benchmarks, in Table-I order. *)
+(** The eleven Table-I benchmarks in table order, then the two
+    high-iteration temporal-blocking rows ([jacobi7-iter],
+    [smooth2d-iter]). *)
 val all : t list
 
 (** @raise Invalid_argument on unknown names *)
 val find : string -> t
 
-(** The benchmark rescaled to a small cube for data-execution tests. *)
+(** The benchmark rescaled to a small domain for data-execution tests
+    (every parameter set to [n], whatever the benchmark's rank). *)
 val at_size : int -> t -> t
 
 (** Instantiated kernels (one per distinct stencil; time loops

@@ -101,6 +101,7 @@ let lower (device : Device.t) (kernel : I.kernel) (o : Options.t) =
       fold;
       max_regs = o.max_regs;
       time_tile = 1;
+      temporal = Plan.no_temporal;
     }
   in
   let placement =

@@ -90,7 +90,8 @@ let profile_measurement (m : Analytic.measurement) =
 (** Optimize one kernel end to end.  [iterative] enables the fusion
     guideline; use [deep_tune] for the full variable-T flow. *)
 let optimize_kernel ?(device = Device.p100) ?(iterative = false)
-    ?(opts = Options.default) (kernel : Instantiate.kernel) =
+    ?(opts = Options.default) ?(max_degree = 1) ?pingpong
+    (kernel : Instantiate.kernel) =
   Trace.with_span "optimize.kernel" ~attrs:[ ("kernel", Str kernel.kname) ]
   @@ fun () ->
   (* Step 1: baseline from the pragma. *)
@@ -118,14 +119,26 @@ let optimize_kernel ?(device = Device.p100) ?(iterative = false)
           Json.Str (Classify.verdict_to_string baseline_profile.verdict) ) ];
   (* Step 2: decisions prune the tuning space. *)
   let decisions = Hints.decide ~iterative baseline baseline_profile in
-  let knobs = Hierarchical.knobs_of_decisions decisions in
+  let knobs =
+    { (Hierarchical.knobs_of_decisions decisions) with Hierarchical.max_degree }
+  in
+  (* Temporal blocking needs the ping-pong pair on the base plan; without
+     one the degree stays an inert dimension of the space. *)
+  let with_pair (p : Plan.t) =
+    match pingpong with
+    | Some (out, inp) ->
+      { p with
+        Plan.temporal = { Plan.no_temporal with Plan.pair = Some (out, inp) } }
+    | None -> p
+  in
   (* Step 3: hierarchical autotuning.  When profiling flags the kernel as
      DRAM-bound despite shared memory, ARTEMIS generates the global
      version as an alternative (Section IV-A); both versions are tuned
      and the better one kept. *)
   let tune_with opts =
     Hierarchical.tune ~knobs
-      (Lower.lower device kernel { opts with Options.block = None; unroll = None })
+      (with_pair
+         (Lower.lower device kernel { opts with Options.block = None; unroll = None }))
   in
   let candidates =
     Trace.with_span "optimize.tune" @@ fun () ->
@@ -190,7 +203,7 @@ type deep_result = {
 }
 
 let deep_tune ?(device = Device.p100) ?(opts = Options.default) ?max_tile
-    (prog : Ast.program) =
+    ?max_degree (prog : Ast.program) =
   Trace.with_span "deep.tune" @@ fun () ->
   let sched = Instantiate.schedule prog in
   match List.find_map Fusion.pingpong_of_item sched with
@@ -199,7 +212,7 @@ let deep_tune ?(device = Device.p100) ?(opts = Options.default) ?max_tile
     let plan_of fused =
       Lower.lower device fused { opts with Options.block = None; unroll = None }
     in
-    let deep = Deep.explore ?max_tile ~plan_of k ~out ~inp in
+    let deep = Deep.explore ?max_tile ?max_degree ~plan_of k ~out ~inp in
     let schedule, predicted_time = Deep.optimal_schedule deep ~t in
     { deep; schedule; predicted_time }
 

@@ -89,9 +89,13 @@ val profile_measurement : Analytic.measurement -> Classify.profile
 
 (** Optimize one kernel end to end: baseline from the pragma, profile,
     prune, hierarchically autotune, profile the winner, emit hints and
-    fission candidates.  [iterative] enables the fusion guideline. *)
+    fission candidates.  [iterative] enables the fusion guideline.  With
+    [pingpong] naming the kernel's (out, inp) buffer pair and
+    [max_degree] > 1 (default 1), phase 2 also explores degree-N temporal
+    blocking up to that degree. *)
 val optimize_kernel :
   ?device:Device.t -> ?iterative:bool -> ?opts:Options.t ->
+  ?max_degree:int -> ?pingpong:string * string ->
   Instantiate.kernel -> result
 
 type deep_result = {
@@ -100,11 +104,14 @@ type deep_result = {
   predicted_time : float;
 }
 
-(** Deep-tune an iterative ping-pong program (Section VI-A).
+(** Deep-tune an iterative ping-pong program (Section VI-A).  With
+    [max_degree] > 1 (default 1) each fused version's tuner also picks a
+    temporal-blocking degree, so one launch covers (fusion width x
+    degree) time steps and the opt(T) schedule composes over both.
     @raise Invalid_argument when the program has no ping-pong time loop *)
 val deep_tune :
-  ?device:Device.t -> ?opts:Options.t -> ?max_tile:int -> Ast.program ->
-  deep_result
+  ?device:Device.t -> ?opts:Options.t -> ?max_tile:int -> ?max_degree:int ->
+  Ast.program -> deep_result
 
 (** CUDA source of the tuned plan. *)
 val cuda_of : result -> string

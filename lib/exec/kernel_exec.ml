@@ -53,9 +53,10 @@ let check_idempotent (k : Artemis_dsl.Instantiate.kernel) =
       | Some `Assign | None -> ())
     inter
 
-(** Execute [plan] on the arrays in [store], updating final outputs (and
-    global-placed intermediates) in place, and return the launch counters. *)
-let run (plan : Plan.t) (store : Reference.store) ~scalars =
+(* One launch of [plan] at temporal degree 1 (the pre-blocking executor);
+   [run] below dispatches blocked plans onto it or onto the streamed
+   traversal. *)
+let run_plain (plan : Plan.t) (store : Reference.store) ~scalars =
   Validate.check plan;
   check_idempotent plan.kernel;
   let ctx = Traffic.make_ctx plan in
@@ -269,3 +270,142 @@ let run (plan : Plan.t) (store : Reference.store) ~scalars =
   end
   else launch 0;
   Traffic.total_counters ctx
+
+(* ------------------------------------------------------------------ *)
+(* Degree-N temporal blocking                                          *)
+(* ------------------------------------------------------------------ *)
+
+let exchange (store : Reference.store) a b =
+  let ga = Reference.find_array store a and gb = Reference.find_array store b in
+  Hashtbl.replace store a gb;
+  Hashtbl.replace store b ga
+
+(* Streamed interleaved traversal (AN5D): one front sweeps the outer
+   dimension while all [degree] inner time steps advance in a skewed
+   pipeline — when the front is at [z], step [s] computes plane
+   [z - (s-1)*skew], reading the opposite-parity physical buffer.
+   Processing steps in increasing [s] per front makes every read
+   available exactly when needed, and overwritten planes are never read
+   again; guard-failed points retain the stale contents of the written
+   physical buffer.  Bit-identical to the per-step composition
+   [(launch; exchange)^(degree-1); launch]. *)
+let run_streamed (plan : Plan.t) (store : Reference.store) ~scalars ~out ~inp =
+  let k = plan.Plan.kernel in
+  let b = plan.temporal.degree in
+  let skew = Artemis_fuse.Fusion.stream_skew k in
+  let rank = Array.length k.domain in
+  let zdim = k.domain.(0) in
+  (* Physical buffers by step parity: odd steps write [phys.(1)] (the
+     grid named [out] on entry), even steps write [phys.(0)]. *)
+  let phys = [| Reference.find_array store inp; Reference.find_array store out |] in
+  let temps : (string, Grid.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (function
+      | A.Decl_temp (n, _) -> Hashtbl.replace temps n (Grid.create k.domain)
+      | A.Assign _ | A.Accum _ -> ())
+    k.body;
+  let scalar_value s =
+    match List.assoc_opt s scalars with
+    | Some v -> v
+    | None -> invalid_arg ("Kernel_exec: unbound scalar " ^ s)
+  in
+  let identity_idx = List.map (fun it -> A.index ~iter:it 0) k.iters in
+  (* One compiled statement list per step parity (the two buffer roles). *)
+  let compile_for parity =
+    let read = phys.(1 - parity) and write = phys.(parity) in
+    let binder =
+      {
+        Eval.bind_array =
+          (fun a ->
+            if a = inp then read
+            else if a = out then write
+            else
+              match Hashtbl.find_opt temps a with
+              | Some g -> g
+              | None -> Reference.find_array store a);
+        bind_temp = (fun t -> Hashtbl.find_opt temps t);
+        bind_scalar = scalar_value;
+        binder_iters = k.iters;
+      }
+    in
+    List.map
+      (fun st ->
+        match st with
+        | A.Decl_temp (n, e) ->
+          let g = Hashtbl.find temps n in
+          ( Some g,
+            (Eval.compile_stmt binder ~target:g ~accum:false identity_idx e)
+              .Eval.sx_guarded )
+        | A.Assign (_, idx, e) ->
+          (* stream_legal: the single array assign writes [out] *)
+          ( None,
+            (Eval.compile_stmt binder ~target:write ~accum:false idx e)
+              .Eval.sx_guarded )
+        | A.Accum _ -> raise (Unsupported "streamed traversal on an accumulation"))
+      k.body
+  in
+  let by_parity = [| compile_for 0; compile_for 1 |] in
+  (* Zeroing a temp's front plane before its sweep reproduces the fresh
+     per-launch temp grids of the per-step composition: guard-failed
+     points read back 0.0, never a previous step's value. *)
+  let zero_plane (g : Grid.t) z =
+    let plane = g.strides.(0) in
+    Array.fill g.data (z * plane) plane 0.0
+  in
+  let region = Array.init rank (fun d -> (0, k.domain.(d) - 1)) in
+  let point = Array.make rank 0 in
+  for front = 0 to zdim - 1 + ((b - 1) * skew) do
+    for s = 1 to b do
+      let z = front - ((s - 1) * skew) in
+      if z >= 0 && z < zdim then begin
+        region.(0) <- (z, z);
+        List.iter
+          (fun (temp_g, guarded) ->
+            (match temp_g with Some g -> zero_plane g z | None -> ());
+            Region.sweep_guarded ~point ~region guarded)
+          by_parity.(s mod 2)
+      end
+    done
+  done;
+  (* The composition ends without a final exchange (hoisted to the
+     schedule's swap): at even degree the names have net-swapped an odd
+     number of times, so mirror that in the store. *)
+  if (b - 1) mod 2 = 1 then exchange store out inp
+
+(** Execute [plan] on the arrays in [store], updating final outputs (and
+    global-placed intermediates) in place, and return the launch counters.
+    A temporally blocked plan ([Plan.temporal.degree > 1]) executes
+    [degree] time steps of its ping-pong pair per launch — through the
+    streamed interleaved traversal when the body admits it, otherwise the
+    exact per-step composition — and is charged the blocked launch's
+    counters from [Traffic]. *)
+let run (plan : Plan.t) (store : Reference.store) ~scalars =
+  let tb = plan.Plan.temporal in
+  if tb.degree <= 1 then run_plain plan store ~scalars
+  else begin
+    Validate.check plan;
+    let out, inp =
+      match tb.pair with
+      | Some pair -> pair
+      | None -> invalid_arg "Kernel_exec: blocked plan without a ping-pong pair"
+    in
+    let ctx = Traffic.make_ctx plan in
+    let p1 = { plan with Plan.temporal = Plan.no_temporal } in
+    let streamed = Artemis_fuse.Fusion.stream_legal plan.kernel ~out ~inp in
+    Trace.with_span "exec.temporal"
+      ~attrs:
+        [ ("kernel", Trace.Str plan.kernel.kname);
+          ("degree", Trace.Int tb.degree);
+          ("streamed", Trace.Bool streamed) ]
+    @@ fun () ->
+    if streamed then run_streamed plan store ~scalars ~out ~inp
+    else begin
+      (* exact fallback: [(launch; exchange)^(degree-1); launch] *)
+      for _ = 1 to tb.degree - 1 do
+        ignore (run_plain p1 store ~scalars);
+        exchange store out inp
+      done;
+      ignore (run_plain p1 store ~scalars)
+    end;
+    Traffic.total_counters ctx
+  end

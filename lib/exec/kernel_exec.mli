@@ -13,7 +13,11 @@ exception Unsupported of string
 
 (** Execute the plan on the arrays in [store], updating final outputs
     (and global-placed intermediates) in place; returns the launch
-    counters.
+    counters.  A temporally blocked plan ([Plan.temporal.degree > 1])
+    executes [degree] time steps of its ping-pong pair per launch — via
+    the streamed interleaved traversal when the body admits it, the
+    exact per-step composition otherwise — and is charged the blocked
+    launch's [Traffic] counters.
     @raise Invalid_argument when the plan is not launchable
     @raise Unsupported per above *)
 val run :

@@ -138,6 +138,21 @@ let run_kernel (store : store) ~scalars (k : I.kernel) =
   end
   else List.iter run_sweep k.body
 
+(** Degree-[degree] temporally blocked execution of one ping-pong step
+    kernel: the composition [(launch; exchange)^(degree-1); launch] —
+    [degree] time steps per call with the final exchange hoisted to the
+    caller's swap.  This is the semantic ground truth the block
+    executor's streamed interleaved traversal must match bit for bit. *)
+let run_blocked (store : store) ~scalars (k : I.kernel) ~out ~inp ~degree =
+  if degree < 1 then invalid_arg "Reference.run_blocked: degree < 1";
+  for _ = 1 to degree - 1 do
+    run_kernel store ~scalars k;
+    let go = find_array store out and gi = find_array store inp in
+    Hashtbl.replace store out gi;
+    Hashtbl.replace store inp go
+  done;
+  run_kernel store ~scalars k
+
 (** Execute a whole instantiated schedule (launches, swaps, time loops).
     Swaps exchange grid bindings, the ping-pong idiom of iterative
     stencils. *)

@@ -17,6 +17,14 @@ val find_array : store -> string -> Grid.t
 val run_kernel :
   store -> scalars:(string * float) list -> Artemis_dsl.Instantiate.kernel -> unit
 
+(** Degree-[degree] temporally blocked execution of one ping-pong step
+    kernel: [(launch; exchange)^(degree-1); launch] — [degree] time
+    steps per call, the final exchange hoisted to the caller's swap.
+    @raise Invalid_argument on degree < 1 or unbound arrays *)
+val run_blocked :
+  store -> scalars:(string * float) list -> Artemis_dsl.Instantiate.kernel ->
+  out:string -> inp:string -> degree:int -> unit
+
 (** Execute a whole instantiated schedule; swaps exchange grid bindings
     (the ping-pong idiom). *)
 val run_schedule :

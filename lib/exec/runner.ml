@@ -35,6 +35,40 @@ let rec configure ~plan_of (items : I.sched_item list) : step list =
       | I.Repeat (n, sub) -> Loop (n, configure ~plan_of sub))
     items
 
+(** Rewrite every ping-pong time loop [Loop (n, [Run_plan p; Swap (a, b)])]
+    with [n >= degree] into degree-[degree] blocked launches: an
+    [n / degree] loop over the blocked plan — one launch covering
+    [degree] steps, its final exchange hoisted into the loop's swap —
+    followed by a remainder loop at degree 1.  Exact for any body, since
+    the blocked launch is the composition
+    [(launch; swap)^(degree-1); launch].  Other steps are left
+    untouched (recursing into nests). *)
+let temporal_rewrite ?(halo = Plan.Halo_recompute) ?(tbuf = Plan.Shared_double)
+    ~degree steps =
+  let rec go steps =
+    List.concat_map
+      (function
+        | Loop (n, [ Run_plan p; Swap (a, b) ])
+          when degree > 1 && n >= degree && p.Plan.temporal.degree = 1 ->
+          let out, inp =
+            if List.mem a (Artemis_ir.Launch.final_outputs p.kernel) then (a, b)
+            else (b, a)
+          in
+          let pb =
+            { p with
+              Plan.temporal = { Plan.degree; halo; tbuf; pair = Some (out, inp) }
+            }
+          in
+          Loop (n / degree, [ Run_plan pb; Swap (a, b) ])
+          :: (if n mod degree > 0 then
+                [ Loop (n mod degree, [ Run_plan p; Swap (a, b) ]) ]
+              else [])
+        | Loop (n, sub) -> [ Loop (n, go sub) ]
+        | step -> [ step ])
+      steps
+  in
+  go steps
+
 (** Analytic execution: sum per-launch counters and times. *)
 let measure_schedule (steps : step list) =
   Trace.with_span "exec.measure_schedule" @@ fun () ->

@@ -20,6 +20,16 @@ val configure :
   plan_of:(Artemis_dsl.Instantiate.kernel -> Artemis_ir.Plan.t) ->
   Artemis_dsl.Instantiate.sched_item list -> step list
 
+(** Rewrite ping-pong time loops [Loop (n, [Run_plan p; Swap (a, b)])]
+    (with [n >= degree]) into degree-[degree] blocked launches plus a
+    degree-1 remainder loop.  Exact for any body: the blocked launch is
+    the composition [(launch; swap)^(degree-1); launch], final exchange
+    hoisted into the loop's swap.  Other steps pass through. *)
+val temporal_rewrite :
+  ?halo:Artemis_ir.Plan.halo_policy ->
+  ?tbuf:Artemis_ir.Plan.tbuffer ->
+  degree:int -> step list -> step list
+
 (** Analytic execution: per-launch counters and times summed. *)
 val measure_schedule : step list -> outcome
 

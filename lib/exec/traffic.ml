@@ -377,9 +377,11 @@ let block_counters ctx (block : int array) =
   else begin
     let fl = ref 0.0 and ufl = ref 0.0 in
     let gld_elems = ref 0.0 and gst_elems = ref 0.0 in
-    let gld_tx = ref 0 and gst_tx = ref 0 in
+    let gld_tx = ref 0.0 and gst_tx = ref 0.0 in
     let shm_ld = ref 0.0 and shm_st = ref 0.0 in
-    let dram = ref 0.0 in
+    (* Load- and store-side DRAM kept apart: temporal blocking scales them
+       differently (inputs staged once per b steps, output stored once). *)
+    let dram_ld = ref 0.0 and dram_st = ref 0.0 in
     (* Output perspective issues the x-halo of each staged row as separate
        narrow transactions (boundary threads re-load); input and mixed
        perspectives cover the whole input row with contiguous threads
@@ -409,7 +411,8 @@ let block_counters ctx (block : int array) =
           let sbox = staged_box ctx b tile in
           let v = float_of_int (box_volume sbox) in
           gld_elems := !gld_elems +. v;
-          gld_tx := !gld_tx + box_sectors ctx b.array sbox + persp_extra_tx sbox b;
+          gld_tx :=
+            !gld_tx +. float_of_int (box_sectors ctx b.array sbox + persp_extra_tx sbox b);
           (match b.staging with
            | Launch.Stage_stream { shared_planes = []; _ } -> ()
            | _ ->
@@ -422,15 +425,15 @@ let block_counters ctx (block : int array) =
           (* DRAM: unique footprint; the halo share beyond the tile may be
              refetched by neighbours without hitting L2. *)
           let vt = float_of_int (box_volume (box_inter sbox tile)) in
-          dram := !dram +. ((vt +. (halo_miss () *. (v -. vt))) *. float_of_int elem_bytes)
+          dram_ld := !dram_ld +. ((vt +. (halo_miss () *. (v -. vt))) *. float_of_int elem_bytes)
         | Launch.Stage_fold_member _ ->
           (* loaded once during the leader's staging pass *)
           let sbox = extend_clip ctx tile b.extent in
           let v = float_of_int (box_volume sbox) in
           gld_elems := !gld_elems +. v;
-          gld_tx := !gld_tx + box_sectors ctx b.array sbox;
+          gld_tx := !gld_tx +. float_of_int (box_sectors ctx b.array sbox);
           let vt = float_of_int (box_volume (box_inter sbox tile)) in
-          dram := !dram +. ((vt +. (halo_miss () *. (v -. vt))) *. float_of_int elem_bytes)
+          dram_ld := !dram_ld +. ((vt +. (halo_miss () *. (v -. vt))) *. float_of_int elem_bytes)
         | Launch.Stage_global | Launch.Stage_const -> ())
       ctx.bufs;
     (* --- per-statement compute and per-use traffic --- *)
@@ -452,8 +455,8 @@ let block_counters ctx (block : int array) =
           (* output stores *)
           if si.write_is_final then begin
             gst_elems := !gst_elems +. nu;
-            gst_tx := !gst_tx + box_sectors ctx si.writes useful_box;
-            dram := !dram +. (nu *. float_of_int elem_bytes)
+            gst_tx := !gst_tx +. float_of_int (box_sectors ctx si.writes useful_box);
+            dram_st := !dram_st +. (nu *. float_of_int elem_bytes)
           end
           else if si.write_is_array then begin
             match buffer_of ctx si.writes with
@@ -463,8 +466,8 @@ let block_counters ctx (block : int array) =
             | _ ->
               (* intermediate in global memory: redundant halo stores too *)
               gst_elems := !gst_elems +. nf;
-              gst_tx := !gst_tx + box_sectors ctx si.writes region;
-              dram := !dram +. (nf *. float_of_int elem_bytes)
+              gst_tx := !gst_tx +. float_of_int (box_sectors ctx si.writes region);
+              dram_st := !dram_st +. (nf *. float_of_int elem_bytes)
           end;
           (* reads *)
           List.iter
@@ -491,7 +494,7 @@ let block_counters ctx (block : int array) =
                       let lo, hi = region.(d) in
                       (lo + off.(d), hi + off.(d)))
                 in
-                gld_tx := !gld_tx + box_sectors ctx aname shifted;
+                gld_tx := !gld_tx +. float_of_int (box_sectors ctx aname shifted);
                 (* track unique footprint and total uses for the L2 model *)
                 let ubox =
                   match Hashtbl.find_opt unstaged_unique aname with
@@ -536,29 +539,88 @@ let block_counters ctx (block : int array) =
         in
         let vt = float_of_int (box_volume (box_inter ubox tile)) in
         let halo_unique = Float.max 0.0 (unique -. vt) in
-        dram :=
-          !dram
+        dram_ld :=
+          !dram_ld
           +. ((vt +. (halo_miss () *. halo_unique) +. (miss *. reuse)) *. float_of_int elem_bytes))
       unstaged_unique;
+    let syncs = ref (float_of_int (Launch.syncs_per_block p ctx.geom ctx.bufs)) in
+    let spill_scale = ref 1.0 in
+    (* --- degree-N temporal blocking (AN5D): one launch covers [degree]
+       inner time steps.  Compute repeats per step — inflated by the
+       trapezoid halo volume under redundant recompute; inputs are staged
+       once with the halo grown to degree x extent (recompute) or
+       refreshed per step through a one-deep halo-ring exchange; the
+       final output is stored once per launch. *)
+    let tb = p.temporal in
+    if tb.degree > 1 then begin
+      let b = tb.degree in
+      let r = ctx.geom.rank in
+      (* per-side halo of the staged inputs along each dimension *)
+      let ext =
+        Array.init r (fun d ->
+            List.fold_left
+              (fun acc (buf : Launch.buffer) ->
+                let lo, hi = buf.extent.(d) in
+                max acc (max (-lo) hi))
+              0 ctx.bufs)
+      in
+      let vol m =
+        float_of_int
+          (box_volume
+             (Array.init r (fun d ->
+                  let lo, hi = tile.(d) in
+                  ( max 0 (lo - (m * ext.(d))),
+                    min (ctx.geom.domain.(d) - 1) (hi + (m * ext.(d))) ))))
+      in
+      let tile_v = vol 0 in
+      let flop_scale, load_scale, ring_elems =
+        match tb.halo with
+        | Plan.Halo_recompute ->
+          (* step s computes tile + (b-s) x ext per side; the input is
+             staged once with its halo grown to b x ext *)
+          let sum = ref 0.0 in
+          for s = 1 to b do
+            sum := !sum +. (vol (b - s) /. tile_v)
+          done;
+          (!sum, vol b /. vol 1, 0.0)
+        | Plan.Halo_exchange ->
+          (* every step computes exactly the tile; each of the b-1
+             intermediate steps exchanges the one-deep halo ring *)
+          (float_of_int b, 1.0, float_of_int (b - 1) *. (vol 1 -. tile_v))
+      in
+      let ring_tx =
+        ring_elems /. float_of_int (Coalesce.elems_per_sector ~elem_bytes)
+      in
+      fl := !fl *. flop_scale;
+      ufl := !ufl *. float_of_int b;
+      shm_ld := !shm_ld *. flop_scale;
+      shm_st := !shm_st *. flop_scale;
+      gld_elems := (!gld_elems *. load_scale) +. ring_elems;
+      gld_tx := (!gld_tx *. load_scale) +. ring_tx;
+      dram_ld := (!dram_ld *. load_scale) +. (ring_elems *. float_of_int elem_bytes);
+      gst_elems := !gst_elems +. ring_elems;
+      gst_tx := !gst_tx +. ring_tx;
+      dram_st := !dram_st +. (ring_elems *. float_of_int elem_bytes);
+      syncs := !syncs *. float_of_int b;
+      spill_scale := flop_scale
+    end;
     (* --- spills --- *)
     let out_pts = float_of_int (box_volume tile) in
     let spill =
-      float_of_int ctx.res.spilled_doubles *. 16.0 *. out_pts
+      float_of_int ctx.res.spilled_doubles *. 16.0 *. out_pts *. !spill_scale
     in
-    let syncs = float_of_int (Launch.syncs_per_block p ctx.geom ctx.bufs) in
-    let gld_txf = float_of_int !gld_tx and gst_txf = float_of_int !gst_tx in
     {
       Counters.useful_flops = !ufl;
       total_flops = !fl;
-      dram_bytes = !dram;
-      tex_bytes = (gld_txf +. gst_txf) *. 32.0;
+      dram_bytes = !dram_ld +. !dram_st;
+      tex_bytes = (!gld_tx +. !gst_tx) *. 32.0;
       shm_bytes = (!shm_ld +. !shm_st) *. float_of_int elem_bytes;
-      gld_transactions = gld_txf;
-      gst_transactions = gst_txf;
+      gld_transactions = !gld_tx;
+      gst_transactions = !gst_tx;
       shm_ld = !shm_ld;
       shm_st = !shm_st;
       spill_bytes = spill;
-      syncs;
+      syncs = !syncs;
       instructions =
         !fl +. ((!gld_elems +. !gst_elems +. !shm_ld +. !shm_st) *. 0.5);
     }

@@ -14,6 +14,8 @@
 
 module A = Artemis_dsl.Ast
 module I = Artemis_dsl.Instantiate
+module S = Artemis_static.Static
+module Plan = Artemis_ir.Plan
 module Trace = Artemis_obs.Trace
 
 exception Fusion_error of string
@@ -123,6 +125,149 @@ let fuse_pingpong (t, k, out, inp) ~schedule =
   List.concat_map
     (fun x -> [ I.Launch (time_fuse k ~out ~inp ~f:x); I.Exchange (out, inp) ])
     schedule
+
+(* ------------------------------------------------------------------ *)
+(* Degree-N temporal blocking (AN5D)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** A temporally-blocked variant of a ping-pong loop: [tb_degree] inner
+    time steps of [tb_kernel] per sweep over the streamed outer
+    dimension, alternating between the two physical buffers of
+    ([tb_out], [tb_inp]) — associative double-buffering.  Unlike
+    [time_fuse], the body is {e not} rewritten: blocking is a plan/
+    execution-strategy dimension, carried as [Plan.temporal]. *)
+type temporal_block = {
+  tb_kernel : I.kernel;
+  tb_out : string;
+  tb_inp : string;
+  tb_degree : int;
+  tb_halo : Plan.halo_policy;
+  tb_buffer : Plan.tbuffer;
+}
+
+(* All array accesses read anywhere in the body, with their index lists. *)
+let body_reads (k : I.kernel) =
+  List.concat_map
+    (fun st -> A.fold_stmt_exprs (fun acc e -> A.reads_of_expr e @ acc) [] st)
+    k.body
+
+let delta_to_string d =
+  "(" ^ String.concat "," (List.map string_of_int (Array.to_list d)) ^ ")"
+
+(** Why degree-N temporal blocking of [k]'s ping-pong loop is forbidden,
+    if it is.  A statement carrying a self-dependence (Gauss-Seidel/SOR)
+    imposes an in-step point order that independently-tiled b-step
+    trapezoids cannot honor, and a body reading the produced buffer
+    couples consecutive steps through it — both are modeled as
+    independent per-tile step pipelines, so either breaks the model. *)
+let block_illegal (k : I.kernel) ~out ~inp:_ =
+  let rec scan i = function
+    | [] -> None
+    | st :: rest -> (
+      match S.self_dependences ~iters:k.iters st with
+      | S.No_dep -> scan (i + 1) rest
+      | S.Uniform ds ->
+        Some
+          (Printf.sprintf
+             "statement %d carries a uniform self-dependence %s: inner time steps cannot proceed tile-independently"
+             i
+             (String.concat " " (List.map delta_to_string ds)))
+      | S.Unknown ->
+        Some
+          (Printf.sprintf
+             "statement %d has a position-dependent self-dependence" i))
+  in
+  match scan 0 k.body with
+  | Some reason -> Some reason
+  | None ->
+    if List.mem out (I.read_arrays_of_body k.body) then
+      Some
+        (Printf.sprintf
+           "body reads the produced buffer %s: consecutive time steps are coupled"
+           out)
+    else None
+
+let block_legal (k : I.kernel) ~out ~inp = block_illegal k ~out ~inp = None
+
+(** Per-step plane skew of the streamed interleaved traversal: the
+    largest |stream-dimension shift| of any read, and at least 1 so
+    consecutive steps never share a front plane. *)
+let stream_skew (k : I.kernel) =
+  let skew =
+    List.fold_left
+      (fun acc (_, idx) ->
+        let spec = S.spec_of_index ~iters:k.iters idx in
+        Array.fold_left
+          (fun acc (dim, shift) -> if dim = 0 then max acc (abs shift) else acc)
+          acc spec)
+      0 (body_reads k)
+  in
+  max 1 skew
+
+(** The body admits the streamed interleaved traversal (all [tb_degree]
+    steps in flight over one sweep of the outer dimension): one [Assign]
+    to [out] covering every iteration dimension at shift 0, per-point
+    temporaries only, and every array read hitting [inp] — the jacobi
+    family shape.  Anything else still blocks exactly, through the
+    per-step fallback. *)
+let stream_legal (k : I.kernel) ~out ~inp =
+  block_legal k ~out ~inp
+  && begin
+       let rank = Array.length k.domain in
+       let assigns, others_ok =
+         List.fold_left
+           (fun (assigns, ok) st ->
+             match st with
+             | A.Decl_temp _ -> (assigns, ok)
+             | A.Assign (a, idx, _) -> ((a, idx) :: assigns, ok)
+             | A.Accum _ -> (assigns, false))
+           ([], true) k.body
+       in
+       others_ok
+       && (match assigns with
+          | [ (a, idx) ] ->
+            a = out
+            &&
+            let spec = S.spec_of_index ~iters:k.iters idx in
+            Array.length spec = rank
+            && Array.for_all (fun (d, sh) -> d >= 0 && sh = 0) spec
+            &&
+            let seen = Array.make rank false in
+            Array.iter
+              (fun (d, _) -> if d >= 0 && d < rank then seen.(d) <- true)
+              spec;
+            Array.for_all Fun.id seen
+          | _ -> false)
+       && List.for_all (fun (a, _) -> a = inp) (body_reads k)
+     end
+
+(** Build a temporal-block descriptor for a ping-pong loop, or [None]
+    when a dependence forbids blocking ([block_illegal] has the reason).
+    @raise Fusion_error on unknown arrays or degree < 2 *)
+let temporal_block ?(halo = Plan.Halo_recompute) ?(buffer = Plan.Shared_double)
+    (k : I.kernel) ~out ~inp ~degree =
+  if degree < 2 then fail "temporal_block: degree %d < 2" degree;
+  if not (List.mem_assoc out k.arrays) then
+    fail "temporal_block: unknown output %s" out;
+  if not (List.mem_assoc inp k.arrays) then
+    fail "temporal_block: unknown input %s" inp;
+  if block_legal k ~out ~inp then
+    Some
+      { tb_kernel = k; tb_out = out; tb_inp = inp; tb_degree = degree;
+        tb_halo = halo; tb_buffer = buffer }
+  else begin
+    Trace.instant "fusion.temporal_rejected"
+      ~attrs:
+        [ ("kernel", Str k.kname); ("degree", Int degree);
+          ("reason",
+           Str (match block_illegal k ~out ~inp with Some r -> r | None -> "")) ];
+    None
+  end
+
+(** The plan-level [Plan.temporal] record of a descriptor. *)
+let temporal_of_block (tb : temporal_block) : Plan.temporal =
+  { degree = tb.tb_degree; halo = tb.tb_halo; tbuf = tb.tb_buffer;
+    pair = Some (tb.tb_out, tb.tb_inp) }
 
 (** Spatial DAG fusion: concatenate same-domain kernels in dependence
     order.  Arrays written by one and read by a later one become

@@ -158,12 +158,48 @@ let ilp_estimate (p : Plan.t) ~regs_needed =
   in
   Float.min 8.0 (base *. unroll_gain *. dist_gain *. pf_gain *. pressure_loss *. persp_loss)
 
+(* Extra buffer pressure of degree-N temporal blocking: the streaming
+   pipeline keeps [degree] plane windows in flight (one per inner time
+   step, double-buffered between the two ping-pong planes).  Under
+   [Shared_double] the windows live in shared memory — grown per side by
+   (degree-1) x extent when halos are recomputed redundantly; under
+   [Register_cycle] each thread cycles its windows through registers. *)
+let temporal_pressure (p : Plan.t) (g : Launch.geometry) =
+  let tb = p.temporal in
+  if tb.degree <= 1 then (0, 0)
+  else begin
+    let s = match Plan.stream_dim p with Some s -> s | None -> 0 in
+    let lo, hi = g.input_extent.(s) in
+    let window = hi - lo + 1 in
+    let grow d =
+      match tb.halo with
+      | Plan.Halo_recompute ->
+        let l, h = g.input_extent.(d) in
+        (tb.degree - 1) * (h - l)
+      | Plan.Halo_exchange -> 0
+    in
+    let plane =
+      List.fold_left
+        (fun acc d ->
+          if d = s then acc
+          else
+            let l, h = g.input_extent.(d) in
+            acc * ((p.block.(d) * p.unroll.(d)) + (h - l) + grow d))
+        1
+        (List.init g.rank Fun.id)
+    in
+    match tb.tbuf with
+    | Plan.Shared_double -> (tb.degree * window * plane * 8, 0)
+    | Plan.Register_cycle -> (0, tb.degree * window * 2 * inplane_unroll p)
+  end
+
 (** Full static resource picture of a plan. *)
 let resources (p : Plan.t) =
   let g = Launch.geometry p in
   let bufs = Launch.buffers p in
-  let shared = Launch.shared_bytes_per_block p g bufs in
-  let needed = regs_estimate p bufs in
+  let tb_shared, tb_regs = temporal_pressure p g in
+  let shared = Launch.shared_bytes_per_block p g bufs + tb_shared in
+  let needed = regs_estimate p bufs + tb_regs in
   let effective = min needed p.max_regs in
   let spilled = max 0 ((needed - p.max_regs + 1) / 2) in
   let occ =

@@ -36,6 +36,32 @@ type distribution =
 
 type placement_map = (string * A.placement) list
 
+(** How a temporally-blocked kernel covers the halo between inner time
+    steps (AN5D): recompute the trapezoid redundantly from a grown input
+    halo, or exchange the per-step halo rings through global memory. *)
+type halo_policy =
+  | Halo_recompute
+  | Halo_exchange
+
+(** Where the degree-N stream keeps its in-flight planes: the shared
+    double-buffer pipeline, or a per-thread register cycle. *)
+type tbuffer =
+  | Shared_double
+  | Register_cycle
+
+(** Degree-N temporal blocking: [degree] inner time steps per sweep over
+    the streamed outer dimension, alternating between the two physical
+    buffers of [pair] (out, inp) — associative double-buffering.  Degree
+    1 means no temporal blocking. *)
+type temporal = {
+  degree : int;
+  halo : halo_policy;
+  tbuf : tbuffer;
+  pair : (string * string) option;  (** ping-pong (out, inp) arrays *)
+}
+
+let no_temporal = { degree = 1; halo = Halo_recompute; tbuf = Shared_double; pair = None }
+
 type t = {
   kernel : I.kernel;
   device : Device.t;
@@ -51,6 +77,7 @@ type t = {
   max_regs : int;  (** maxrregcount: 32 | 64 | 128 | 255 *)
   time_tile : int;  (** fusion degree recorded for reporting; the fused
                         body itself already lives in [kernel] *)
+  temporal : temporal;  (** degree-N temporal blocking of the time loop *)
 }
 
 and placement = A.placement
@@ -98,17 +125,33 @@ let threads_per_block (p : t) = Array.fold_left ( * ) 1 p.block
 
 let unroll_product (p : t) = Array.fold_left ( * ) 1 p.unroll
 
+let halo_policy_to_string = function
+  | Halo_recompute -> "recompute"
+  | Halo_exchange -> "exchange"
+
+let tbuffer_to_string = function
+  | Shared_double -> "shared-double"
+  | Register_cycle -> "register-cycle"
+
+(** The plan temporally blocks its time loop ([degree] > 1). *)
+let temporally_blocked (p : t) = p.temporal.degree > 1
+
 (** A compact, deterministic label for logs and tuning records. *)
 let label (p : t) =
   let arr_to_s a =
     Array.to_list a |> List.map string_of_int |> String.concat "x"
   in
-  Printf.sprintf "%s[%s b=%s u=%s %s%s%s regs=%d tt=%d]" p.kernel.kname
+  Printf.sprintf "%s[%s b=%s u=%s %s%s%s regs=%d tt=%d%s]" p.kernel.kname
     (scheme_to_string p.scheme) (arr_to_s p.block) (arr_to_s p.unroll)
     (perspective_to_string p.perspective)
     (if p.prefetch then " pf" else "")
     (if p.retime then " rt" else "")
     p.max_regs p.time_tile
+    (if p.temporal.degree > 1 then
+       Printf.sprintf " tb=%d:%s:%s" p.temporal.degree
+         (halo_policy_to_string p.temporal.halo)
+         (tbuffer_to_string p.temporal.tbuf)
+     else "")
 
 (** Default plan: 3-D tiled, one thread per point, 16x4x4 block (the
     paper's non-streaming baseline shape), everything in global memory. *)
@@ -136,4 +179,5 @@ let default (device : Device.t) (kernel : I.kernel) =
     fold = [];
     max_regs = 255;
     time_tile = 1;
+    temporal = no_temporal;
   }

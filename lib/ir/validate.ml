@@ -11,6 +11,7 @@ type violation =
   | Bad_stream_dim of int
   | Bad_unroll of int * int
   | Empty_tile of int
+  | Bad_degree of int  (** temporal blocking degree < 1 or missing pair *)
 
 let violation_to_string = function
   | Too_many_threads n -> Printf.sprintf "block has %d threads (limit exceeded)" n
@@ -23,6 +24,8 @@ let violation_to_string = function
   | Bad_stream_dim d -> Printf.sprintf "stream dimension %d out of range" d
   | Bad_unroll (d, u) -> Printf.sprintf "unroll factor %d along dim %d invalid" u d
   | Empty_tile d -> Printf.sprintf "empty output tile along dim %d" d
+  | Bad_degree b ->
+    Printf.sprintf "temporal blocking degree %d invalid (needs degree >= 1 and a ping-pong pair when > 1)" b
 
 (** Short constant tag per violation kind — safe as a metric label
     (bounded cardinality, no embedded numbers). *)
@@ -35,6 +38,7 @@ let violation_tag = function
   | Bad_stream_dim _ -> "bad-stream-dim"
   | Bad_unroll _ -> "bad-unroll"
   | Empty_tile _ -> "empty-tile"
+  | Bad_degree _ -> "bad-degree"
 
 (* Validation volume: how many plans the tuner's filters push through
    this gate, split by outcome. *)
@@ -70,6 +74,8 @@ let violations (p : Plan.t) =
       | _ -> ()));
   if p.max_regs > d.max_regs_per_thread then
     add (Regs_overflow (p.max_regs, d.max_regs_per_thread));
+  (let tb = p.temporal in
+   if tb.degree < 1 || (tb.degree > 1 && tb.pair = None) then add (Bad_degree tb.degree));
   if !errs = [] then begin
     (* Geometry-dependent checks only when the basic shape is sane. *)
     let res = Estimate.resources p in

@@ -12,6 +12,7 @@ type violation =
   | Bad_stream_dim of int
   | Bad_unroll of int * int
   | Empty_tile of int
+  | Bad_degree of int  (** temporal degree < 1, or > 1 without a pair *)
 
 val violation_to_string : violation -> string
 

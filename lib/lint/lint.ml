@@ -22,6 +22,7 @@ module Json = Artemis_obs.Json
 module Metrics = Artemis_obs.Metrics
 module W = Artemis_exec.Wavefront
 module S = Artemis_static.Static
+module F = Artemis_fuse.Fusion
 
 type severity =
   | Error
@@ -97,7 +98,14 @@ let catalog =
       statement consumes cells the program never computed");
     ("A703", Error,
      "static race: a statically proven dependence that the plan's tile \
-      fan-out or chosen wavefront hyperplane would execute out of order") ]
+      fan-out or chosen wavefront hyperplane would execute out of order");
+    ("A801", Info,
+     "statement executes under degree-N temporal blocking: each launch \
+      advances the ping-pong pair several inner time steps under the named \
+      halo policy");
+    ("A802", Error,
+     "temporal blocking requested across a dependence that forbids it: the \
+      inner time steps cannot proceed tile-independently") ]
 
 (* ------------------------------------------------------------------ *)
 (* Finding sink: ordered, deduplicated, counted.                       *)
@@ -693,6 +701,8 @@ let launch_hint = function
   | Validate.Bad_stream_dim _ -> "stream along one of the kernel's own dimensions"
   | Validate.Bad_unroll _ -> "use unroll factors between 1 and 64"
   | Validate.Empty_tile _ -> "enlarge the block, unroll, or stream chunk"
+  | Validate.Bad_degree _ ->
+    "use a temporal degree of at least 1, with a ping-pong pair when above 1"
 
 (* Launch-limit findings, one per Validate violation.  Shared_overflow
    gets its own code (A403) because it has a dedicated fix (demotion);
@@ -760,9 +770,53 @@ let static_plan_lints s (p : P.t) =
                  n (stmt_target st) (deltas_str deltas))))
     k.body
 
+(* A802: degree-N temporal blocking across a forbidding dependence.  The
+   legality test is [Fusion.block_illegal] — the same affine-engine check
+   the fusion layer applies — so a blocked plan that lints clean really
+   can advance its ping-pong pair [degree] steps per launch with
+   tile-independent inner steps.  Part of [static_plan_errors], which the
+   tuner prunes candidates with. *)
+let temporal_race_lints s (p : P.t) =
+  let tb = p.P.temporal in
+  if tb.degree > 1 then
+    match tb.pair with
+    | None -> ()  (* Validate reports Bad_degree *)
+    | Some (out, inp) -> (
+      match F.block_illegal p.kernel ~out ~inp with
+      | Some reason ->
+        emit s ~code:"A802" ~severity:Error ~phase:Plan ~location:(P.label p)
+          ~hint:
+            "temporal blocking needs dependence-free inner time steps; keep \
+             degree 1, or break the dependence with distinct input/output \
+             buffers"
+          (Printf.sprintf "temporal blocking at degree %d is illegal: %s"
+             tb.degree reason)
+      | None -> ())
+
+(* A801: the blocked execution that survives A802, as an Info — which
+   launches advance several time steps, under which halo policy. *)
+let temporal_info_lints s (p : P.t) =
+  let tb = p.P.temporal in
+  if tb.degree > 1 then
+    match tb.pair with
+    | None -> ()
+    | Some (out, inp) ->
+      if F.block_illegal p.kernel ~out ~inp = None then
+        emit s ~code:"A801" ~severity:Info ~phase:Plan ~location:(P.label p)
+          ~hint:
+            "each launch advances the ping-pong pair this many time steps; \
+             `artemisc explain` shows the tuner's degree decision"
+          (Printf.sprintf
+             "kernel %s is temporally blocked at degree %d (halo policy: %s, \
+              buffers: %s)"
+             p.kernel.kname tb.degree
+             (P.halo_policy_to_string tb.halo)
+             (P.tbuffer_to_string tb.tbuf))
+
 let static_plan_errors p =
   let s = sink () in
   static_plan_lints s p;
+  temporal_race_lints s p;
   drain s
 
 let occupancy_lints s (p : P.t) (res : Estimate.resources) =
@@ -963,11 +1017,14 @@ let lint_plan (p : P.t) =
   let s = sink () in
   let vs = launch_findings s p in
   static_plan_lints s p;
+  temporal_race_lints s p;
+  temporal_info_lints s p;
   let shape_ok =
     List.for_all
       (function
         | Validate.Too_many_threads _ | Validate.Bad_block_dim _
-        | Validate.Bad_unroll _ | Validate.Bad_stream_dim _ | Validate.Empty_tile _ ->
+        | Validate.Bad_unroll _ | Validate.Bad_stream_dim _
+        | Validate.Empty_tile _ | Validate.Bad_degree _ ->
           false
         | Validate.Shared_overflow _ | Validate.Regs_overflow _
         | Validate.Zero_occupancy _ ->

@@ -27,10 +27,16 @@ let m_versions = Metrics.counter "deep.versions_explored"
 
 type version = {
   time_tile : int;
+  degree : int;
+      (** temporal-blocking degree the tuner chose for this tile; the
+          version covers [time_tile * degree] time steps per launch *)
   record : Hierarchical.record;
   profile : Classify.profile;
-  time_per_sweep : float;  (** launch time / time_tile *)
+  time_per_sweep : float;  (** launch time / (time_tile * degree) *)
 }
+
+(** Time steps one launch of a version advances. *)
+let steps_covered v = v.time_tile * v.degree
 
 type result = {
   versions : version list;  (** (x * 1) for x = 1 .. k *)
@@ -49,7 +55,7 @@ let still_bandwidth_bound prof =
 (** Generate and tune fused versions of the ping-pong kernel [k] (writing
     [out] from [inp]) until fusion stops paying or [max_tile] is reached.
     [plan_of] builds the base plan (scheme/placement) for a fused kernel. *)
-let explore ?(max_tile = 5) ~plan_of (k : I.kernel) ~out ~inp =
+let explore ?(max_tile = 5) ?(max_degree = 1) ~plan_of (k : I.kernel) ~out ~inp =
   (* Generate and tune one fused version — the heavy, pure part of each
      step, safe to run speculatively on a pool worker.  The tuner's own
      journal events are captured alongside the outcome so [decide] can
@@ -60,8 +66,18 @@ let explore ?(max_tile = 5) ~plan_of (k : I.kernel) ~out ~inp =
     Journal.capture (fun () ->
         let fused = Fusion.time_fuse k ~out ~inp ~f:x in
         let base : Plan.t = plan_of fused in
-        let base = { base with Plan.time_tile = x } in
-        match Hierarchical.tune base with
+        (* The base names its ping-pong pair so phase 2 of the tuner can
+           pick the temporal-blocking degree b jointly with this fusion
+           width: a version then covers x*b steps per launch, and the DP
+           below composes over steps covered rather than tiles. *)
+        let base =
+          { base with
+            Plan.time_tile = x;
+            temporal = { Plan.no_temporal with Plan.pair = Some (out, inp) };
+          }
+        in
+        let knobs = { Hierarchical.default_knobs with Hierarchical.max_degree } in
+        match Hierarchical.tune ~knobs base with
         | None -> None
         | Some record -> Some (record, profile_of record.best))
   in
@@ -83,6 +99,8 @@ let explore ?(max_tile = 5) ~plan_of (k : I.kernel) ~out ~inp =
       None
     | Some ((record : Hierarchical.record), prof) ->
       Metrics.incr m_versions;
+      let degree = record.best.plan.Plan.temporal.Plan.degree in
+      let steps = x * degree in
       let continue_ = still_bandwidth_bound prof in
       (* The Section VI-A stopping rule is itself a profiling
          decision — record it with its evidence. *)
@@ -98,11 +116,13 @@ let explore ?(max_tile = 5) ~plan_of (k : I.kernel) ~out ~inp =
       if Journal.enabled () then
         Journal.append "deep.version"
           [ ("time_tile", Json.Int x);
+            ("degree", Json.Int degree);
+            ("steps_covered", Json.Int steps);
             ("plan", Json.Str (Plan.label record.best.plan));
             ("tflops", Json.Float record.best.tflops);
             ("time_s", Json.Float record.best.time_s);
             ( "time_per_sweep",
-              Json.Float (record.best.time_s /. float_of_int x) );
+              Json.Float (record.best.time_s /. float_of_int steps) );
             ("explored", Json.Int record.explored);
             ("verdict", Json.Str (Classify.verdict_to_string prof.verdict));
             ("decision", Json.Str (if continue_ then "continue" else "stop"));
@@ -113,9 +133,10 @@ let explore ?(max_tile = 5) ~plan_of (k : I.kernel) ~out ~inp =
       Some
         ( {
             time_tile = x;
+            degree;
             record;
             profile = prof;
-            time_per_sweep = record.best.time_s /. float_of_int x;
+            time_per_sweep = record.best.time_s /. float_of_int steps;
           },
           continue_ )
   in
@@ -195,15 +216,34 @@ let explore ?(max_tile = 5) ~plan_of (k : I.kernel) ~out ~inp =
         ("tipping_point", Json.Int tipping_point) ];
   { versions; cusp; tipping_point }
 
+(* Launch-time table keyed on steps covered (time_tile * degree).  Two
+   versions can cover the same step count — e.g. (x=4, b=1) and
+   (x=2, b=2) — so the cheaper launch wins the key. *)
+let segment_times (r : result) =
+  let add acc steps time =
+    match List.assoc_opt steps acc with
+    | Some t0 when t0 <= time -> acc
+    | _ -> (steps, time) :: List.remove_assoc steps acc
+  in
+  List.fold_left
+    (fun acc v ->
+      let acc = add acc (steps_covered v) v.record.best.time_s in
+      (* A blocked winner still leaves its unblocked degree-1 launch (the
+         phase-1 best) behind, so every iteration count stays reachable —
+         e.g. t=7 with only a (x=1, b=4) winner would otherwise have no
+         decomposition. *)
+      if v.degree > 1 then add acc v.time_tile v.record.phase1_best.time_s
+      else acc)
+    [] r.versions
+
 (** Optimal fusion schedule for [t] iterations given per-version times:
-    the Section VI-A dynamic program.  Returns the segment sizes (summing
-    to [t]) and the predicted total time. *)
+    the Section VI-A dynamic program, run over steps covered per launch
+    (fusion width x temporal degree).  Returns the segment step counts
+    (summing to [t]) and the predicted total time. *)
 let optimal_schedule (r : result) ~t =
   if t < 0 then invalid_arg "optimal_schedule: negative iteration count";
   Trace.with_span "deep.schedule" ~attrs:[ ("iterations", Int t) ] @@ fun () ->
-  let times =
-    List.map (fun v -> (v.time_tile, v.record.best.time_s)) r.versions
-  in
+  let times = segment_times r in
   let k = List.fold_left (fun acc (x, _) -> max acc x) 0 times in
   let opt = Array.make (t + 1) infinity in
   let choice = Array.make (t + 1) 0 in
@@ -236,9 +276,7 @@ let optimal_schedule (r : result) ~t =
 (** Brute-force check of the DP (used by property tests): enumerate all
     compositions of [t] into parts with known times. *)
 let brute_force_schedule (r : result) ~t =
-  let times =
-    List.map (fun v -> (v.time_tile, v.record.best.time_s)) r.versions
-  in
+  let times = segment_times r in
   let best = ref (([], infinity) : int list * float) in
   let rec go remaining acc cost =
     if cost >= snd !best then ()

@@ -12,10 +12,16 @@
 
 type version = {
   time_tile : int;
+  degree : int;
+      (** temporal-blocking degree the tuner chose for this tile; one
+          launch covers [time_tile * degree] time steps *)
   record : Hierarchical.record;
   profile : Artemis_profile.Classify.profile;
-  time_per_sweep : float;  (** launch time / time tile *)
+  time_per_sweep : float;  (** launch time / (time tile * degree) *)
 }
+
+(** Time steps one launch of a version advances: time_tile * degree. *)
+val steps_covered : version -> int
 
 type result = {
   versions : version list;  (** (x*1) for x = 1 .. k, in order *)
@@ -25,14 +31,19 @@ type result = {
 
 (** Generate and tune fused versions of the ping-pong kernel (writing
     [out] from [inp]) until fusion stops paying or [max_tile] (default 5)
-    is reached; [plan_of] lowers each fused kernel to its base plan. *)
+    is reached; [plan_of] lowers each fused kernel to its base plan.
+    With [max_degree] > 1 (default 1) each version's base plan names the
+    ping-pong pair and the tuner picks the temporal-blocking degree b
+    jointly with the fusion width, so one launch covers x*b steps. *)
 val explore :
   ?max_tile:int ->
+  ?max_degree:int ->
   plan_of:(Artemis_dsl.Instantiate.kernel -> Artemis_ir.Plan.t) ->
   Artemis_dsl.Instantiate.kernel -> out:string -> inp:string -> result
 
-(** Optimal fusion schedule for [t] iterations: segment sizes summing to
-    [t] and the predicted total time.
+(** Optimal fusion schedule for [t] iterations, composed over steps
+    covered per launch (fusion width x temporal degree): segment step
+    counts summing to [t] and the predicted total time.
     @raise Invalid_argument on negative [t] or an empty version table. *)
 val optimal_schedule : result -> t:int -> int list * float
 

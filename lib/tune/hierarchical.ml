@@ -74,6 +74,21 @@ let measure_candidate (plan : Plan.t) =
 let m_configs_measured = Metrics.counter "tuner.configs_measured"
 let m_tuner_runs = Metrics.counter "tuner.runs"
 
+(* One journal event per temporally-blocked configuration considered: the
+   degree, halo policy, and buffer strategy with the tuner's verdict.
+   Appended from the main-domain fold (canonical candidate order), so
+   jobs=1 and jobs=N runs journal byte-identically. *)
+let journal_temporal ~phase ~decision ?(extra = []) (p : Plan.t) =
+  let tb = p.Plan.temporal in
+  if tb.Plan.degree > 1 && Journal.enabled () then
+    Journal.append "tuner.temporal"
+      ([ ("phase", Json.Str phase); ("plan", Json.Str (Plan.label p));
+         ("degree", Json.Int tb.degree);
+         ("halo", Json.Str (Plan.halo_policy_to_string tb.halo));
+         ("buffers", Json.Str (Plan.tbuffer_to_string tb.tbuf));
+         ("decision", Json.Str decision) ]
+      @ extra)
+
 type knobs = {
   try_unroll : bool;
   try_prefetch : bool;
@@ -83,6 +98,9 @@ type knobs = {
   try_fold : bool;
   unroll_bound : int;
   top_n : int;  (** phase-1 candidates promoted to phase 2 *)
+  max_degree : int;
+      (** largest temporal-blocking degree phase 2 may try (1 = off);
+          explored only when the base plan names its ping-pong pair *)
 }
 
 let default_knobs =
@@ -95,6 +113,7 @@ let default_knobs =
     try_fold = true;
     unroll_bound = 8;
     top_n = 4;
+    max_degree = 1;
   }
 
 (** Derive knob settings from profiling decisions (Section IV-A): e.g.
@@ -142,6 +161,8 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
           [ ("phase", Json.Str phase); ("plan", Json.Str (Plan.label plan));
             ("decision", Json.Str "lint-pruned");
             ("lint_code", Json.Str f.code) ];
+      journal_temporal ~phase ~decision:"lint-pruned"
+        ~extra:[ ("lint_code", Json.Str f.code) ] plan;
       acc
     | `Static_pruned (f : Lint.finding) ->
       Metrics.incr
@@ -158,6 +179,8 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
           [ ("phase", Json.Str phase); ("plan", Json.Str (Plan.label plan));
             ("code", Json.Str f.code); ("detail", Json.Str f.message) ]
       end;
+      journal_temporal ~phase ~decision:"static-pruned"
+        ~extra:[ ("lint_code", Json.Str f.code) ] plan;
       acc
     | `Measured ((m : Analytic.measurement), cache) ->
       incr explored;
@@ -196,6 +219,12 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
             ("oi_dram", Json.Float (Counters.oi_dram m.counters));
             ("oi_tex", Json.Float (Counters.oi_tex m.counters));
             ("oi_shm", Json.Float (Counters.oi_shm m.counters)) ];
+      journal_temporal ~phase
+        ~decision:(if kept then "keep" else "drop")
+        ~extra:
+          [ ("tflops", Json.Float m.tflops);
+            ("dram_bytes", Json.Float m.counters.dram_bytes) ]
+        m.plan;
       if List.length !history < 64 then
         history := (Plan.label m.plan, m.tflops) :: !history;
       better acc m
@@ -205,6 +234,7 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
         Journal.append "tuner.candidate"
           [ ("phase", Json.Str phase); ("plan", Json.Str (Plan.label plan));
             ("decision", Json.Str "failed"); ("cache", Json.Str (cache_str cache)) ];
+      journal_temporal ~phase ~decision:"failed" plan;
       acc
   in
   (* Fan the measurements out, then fold the results on this domain in
@@ -334,7 +364,37 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
               with_conc
           else with_conc
         in
-        with_fold
+        let with_temporal =
+          (* Degree-N temporal blocking needs to know the ping-pong pair;
+             a base plan that doesn't name one (or a max_degree of 1)
+             keeps the space temporal-free.  Illegal degrees are pruned
+             downstream: A802 for dependence violations, launch lints for
+             shared/register overflow of the deeper halo windows. *)
+          match
+            ( candidate.Plan.temporal.pair,
+              Space.degree_candidates ~max_degree:knobs.max_degree )
+          with
+          | Some _, (_ :: _ as degrees) ->
+            List.concat_map
+              (fun (p : Plan.t) ->
+                p
+                :: List.concat_map
+                     (fun degree ->
+                       List.concat_map
+                         (fun halo ->
+                           List.map
+                             (fun tbuf ->
+                               { p with
+                                 Plan.temporal =
+                                   { p.Plan.temporal with Plan.degree; halo; tbuf };
+                               })
+                             [ Plan.Shared_double; Plan.Register_cycle ])
+                         [ Plan.Halo_recompute; Plan.Halo_exchange ])
+                     degrees)
+              with_fold
+          | _ -> with_fold
+        in
+        with_temporal
       in
       variants
     in

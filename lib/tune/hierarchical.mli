@@ -25,6 +25,9 @@ type knobs = {
   try_fold : bool;
   unroll_bound : int;  (** 8 bandwidth-bound / 4 compute-bound *)
   top_n : int;  (** phase-1 candidates promoted to phase 2 *)
+  max_degree : int;
+      (** largest temporal-blocking degree phase 2 may try (1 = off);
+          explored only when the base plan names its ping-pong pair *)
 }
 
 val default_knobs : knobs

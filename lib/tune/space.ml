@@ -66,3 +66,8 @@ let min_nonspill_regs (p : Plan.t) =
 
 (** Concurrent-streaming chunk candidates. *)
 let chunk_candidates ~extent = List.filter (fun c -> c <= extent) [ 16; 32; 64; 128 ]
+
+(** Temporal-blocking degree candidates above the unblocked baseline:
+    powers of two in [2, max_degree].  Degree 1 (no blocking) is always
+    implicitly present, so [max_degree <= 1] yields the empty list. *)
+let degree_candidates ~max_degree = pow2s 2 max_degree

@@ -26,6 +26,10 @@ val min_nonspill_regs : Artemis_ir.Plan.t -> int option
 (** Concurrent-streaming chunk candidates within the dimension extent. *)
 val chunk_candidates : extent:int -> int list
 
+(** Temporal-blocking degrees above the unblocked baseline: powers of two
+    in [2, max_degree] (empty when [max_degree <= 1]). *)
+val degree_candidates : max_degree:int -> int list
+
 (**/**)
 
 val cartesian : int list array -> int array list

@@ -135,15 +135,24 @@ let make_stencil sname body ~array_order ~scalar_order =
   (def, A.Apply (sname, actuals))
 
 (* An iterative ping-pong case: one order-1 step kernel applied T times
-   with a buffer swap, the idiom deep tuning fuses. *)
-let gen_iterative rng =
+   with a buffer swap, the idiom deep tuning fuses.  With [deep] (a
+   forked rng), the time loop runs 6..12 iterations over smaller domains
+   — enough depth for degree-N temporal blocking to cover several inner
+   steps per launch, without inflating fuzz runtime. *)
+let gen_iterative ?deep rng =
   let rank = 2 + Rng.int rng 2 in
   let iters = List.filteri (fun i _ -> i >= 3 - rank) iter_pool in
   let params =
     List.init rank (fun d ->
         let v =
-          if d = rank - 1 then Rng.pick rng [ 16; 20 ]
-          else Rng.pick rng [ 14; 15; 16; 18 ]
+          match deep with
+          | Some drng ->
+            (* Innermost stays a multiple of the 4-double sector. *)
+            if d = rank - 1 then Rng.pick drng [ 12; 16 ]
+            else Rng.pick drng [ 10; 12; 14 ]
+          | None ->
+            if d = rank - 1 then Rng.pick rng [ 16; 20 ]
+            else Rng.pick rng [ 14; 15; 16; 18 ]
         in
         (Printf.sprintf "N%d" d, v))
   in
@@ -155,7 +164,11 @@ let gen_iterative rng =
     List.map (fun a -> A.Array_decl (a, dims)) arrays
     @ List.map (fun s -> A.Scalar_decl s) scalars
   in
-  let t_iters = 2 + Rng.int rng 3 in
+  let t_iters =
+    match deep with
+    | Some drng -> 6 + Rng.int drng 7
+    | None -> 2 + Rng.int rng 3
+  in
   let readables = "u0" :: (if coeff then [ "w0" ] else []) in
   let body = ref [] in
   let temps = ref [] in
@@ -371,11 +384,16 @@ let generate ~seed ~index =
      left every pre-existing (seed, index) program byte-identical. *)
   let srng = Rng.make2 (seed lxor 0x5e1de1) index in
   let seidel = Rng.chance srng 0.22 in
+  (* Deep time loops likewise fork their own stream: enabling them left
+     every pre-existing shallow (seed, index) program byte-identical. *)
+  let drng = Rng.make2 (seed lxor 0x7e3a11) index in
+  let deep = Rng.chance drng 0.25 in
   let rng = Rng.make2 seed index in
   let iterative = (not seidel) && Rng.chance rng 0.35 in
   let prog, multi_output =
     if seidel then (gen_seidel srng, false)
-    else if iterative then gen_iterative rng
+    else if iterative then
+      gen_iterative ?deep:(if deep then Some drng else None) rng
     else gen_dag rng
   in
   (* Generated programs are correct by construction; catching drift here

@@ -15,7 +15,10 @@
     - the innermost extent is a multiple of the 32-byte sector width so
       the analytic counter model's block classes are exact;
     - iterative cases keep order 1 and extents large enough that the
-      fused-vs-ping-pong comparison has a non-empty deep interior;
+      fused-vs-ping-pong comparison has a non-empty deep interior; a
+      forked-stream fraction of them runs a deep time loop (6..12
+      iterations over smaller domains) so degree-N temporal blocking
+      covers several inner steps per launch;
     - self-dependent (Gauss-Seidel/SOR) cases read the written array
       only at componentwise same-sign unit distances, so every executor
       sweep order realizes the same dependence-respecting schedule and

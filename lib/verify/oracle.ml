@@ -53,7 +53,10 @@ let margin_of prog = function
        the divergence can propagate [order] points per sweep. *)
     let t = List.fold_left ( + ) 0 segs in
     (t * max 1 (Gen.max_shift prog)) + 2
-  | Sampler.Plain | Sampler.Fissioned _ -> 0
+  (* Invariant 6: temporal blocking never rewrites the body — b inner
+     steps over the same two physical buffers are the composition of b
+     launches exactly, so the comparison is bitwise everywhere. *)
+  | Sampler.Plain | Sampler.Fissioned _ | Sampler.Temporal_blocked _ -> 0
 
 (* Distinct kernels of a schedule (by name — fused segment kernels of the
    same degree are structurally identical). *)
@@ -73,6 +76,27 @@ let kernels_of_schedule sched =
 
 let crash e =
   Checked { plans = 0; mismatches = [ Crash { detail = Printexc.to_string e } ] }
+
+(* Temporal-blocked trials attach the degree after plans are configured
+   ([Runner.temporal_rewrite]); the deeper halo windows can overflow
+   shared memory at the degree-1 block shape, so blocked plans re-shrink
+   through the tuner's validity filter. *)
+let rec shrink_blocked_steps steps =
+  List.map
+    (function
+      | E.Runner.Run_plan p when p.Plan.temporal.Plan.degree > 1 ->
+        E.Runner.Run_plan (Sampler.shrink_valid p 12)
+      | E.Runner.Loop (n, sub) -> E.Runner.Loop (n, shrink_blocked_steps sub)
+      | step -> step)
+    steps
+
+let rec blocked_plans_of steps =
+  List.concat_map
+    (function
+      | E.Runner.Run_plan p when p.Plan.temporal.Plan.degree > 1 -> [ p ]
+      | E.Runner.Loop (_, sub) -> blocked_plans_of sub
+      | _ -> [])
+    steps
 
 (* Invariant 5: the affine analyzer ([Artemis_static.Static]) agrees
    with dynamic behavior on the program's own (plain) schedule.
@@ -236,6 +260,22 @@ let check ?(lint = false) (prog : A.program) (trial : Sampler.trial) =
       | () ->
       let exec_store = E.Reference.store_of_program prog in
       let steps = E.Runner.configure ~plan_of:plan_for sched in
+      let steps, blocked =
+        match trial.variant with
+        | Sampler.Temporal_blocked degree ->
+          let steps =
+            shrink_blocked_steps (E.Runner.temporal_rewrite ~degree steps)
+          in
+          (steps, blocked_plans_of steps)
+        | _ -> (steps, [])
+      in
+      match trial.variant with
+      | Sampler.Temporal_blocked _ when blocked = [] ->
+        Skipped "variant-inapplicable"
+      | Sampler.Temporal_blocked _
+        when not (List.for_all Artemis_ir.Validate.is_valid blocked) ->
+        Skipped "no-launchable-blocked-plan"
+      | _ -> (
       match E.Runner.run_schedule steps exec_store ~scalars with
       | exception E.Kernel_exec.Unsupported msg -> Skipped ("unsupported: " ^ msg)
       | exception e -> crash e
@@ -277,7 +317,7 @@ let check ?(lint = false) (prog : A.program) (trial : Sampler.trial) =
                 match Lint.lint_plan p with
                 | exception e -> push (Crash { detail = Printexc.to_string e })
                 | fs -> push_errors fs))
-            plans
+            (plans @ List.map (fun p -> ("blocked", Some p)) blocked)
         end;
         (* Invariant 2a: executed counters == analytic counters. *)
         (match E.Runner.measure_schedule steps with
@@ -287,7 +327,10 @@ let check ?(lint = false) (prog : A.program) (trial : Sampler.trial) =
             push
               (Schedule_counter_mismatch
                  { detail = counters_brief exec_counters analytic.counters }));
-        (* Invariant 2b: fast class summation == exact per-block loop. *)
+        (* Invariant 2b: fast class summation == exact per-block loop —
+           including the temporally blocked plans, whose per-degree halo
+           growth and ring traffic are charged inside the per-block
+           counters and so must agree under both summation orders. *)
         List.iter
           (fun (_, plan) ->
             match plan with
@@ -302,7 +345,7 @@ let check ?(lint = false) (prog : A.program) (trial : Sampler.trial) =
                   push
                     (Counter_mismatch
                        { plan = Plan.label p; detail = counters_brief fast exact })))
-          plans;
+          (plans @ List.map (fun p -> ("blocked", Some p)) blocked);
         (* Invariant 1: copied-out grids match the reference. *)
         let margin = margin_of prog trial.variant in
         List.iter
@@ -365,4 +408,4 @@ let check ?(lint = false) (prog : A.program) (trial : Sampler.trial) =
               match E.Runner.run_schedule steps exec2 ~scalars with
               | exception e -> push (Crash { detail = Printexc.to_string e })
               | _ -> compare_outputs "blocks" exec_store exec2);
-        Checked { plans = List.length plans; mismatches = List.rev !mismatches })))
+        Checked { plans = List.length plans; mismatches = List.rev !mismatches }))))

@@ -16,6 +16,7 @@ type variant =
   | Plain
   | Fused of int list
   | Fissioned of [ `Trivial | `Recompute ]
+  | Temporal_blocked of int
 
 type cfg = {
   device : [ `P100 | `V100 ];
@@ -36,6 +37,7 @@ let variant_label = function
     Printf.sprintf "fused[%s]" (String.concat ";" (List.map string_of_int segs))
   | Fissioned `Trivial -> "fission-trivial"
   | Fissioned `Recompute -> "fission-recompute"
+  | Temporal_blocked b -> Printf.sprintf "temporal[b=%d]" b
 
 let scheme_label (o : Options.t) =
   match o.scheme with
@@ -112,6 +114,13 @@ let random_variant rng (case : Gen.case) =
       Fused (segs t)
     | Some _ | None -> Plain
   end
+  else if case.iterative && Rng.chance rng 0.5 then begin
+    (* Temporal blocking rides the same ping-pong idiom as fusion but is
+       pinned bit-exactly (oracle invariant 6, margin 0). *)
+    match iterations_of case.prog with
+    | Some t when t >= 2 -> Temporal_blocked (min t (2 + Rng.int rng 3))
+    | Some _ | None -> Plain
+  end
   else if case.multi_output && Rng.chance rng 0.5 then
     Fissioned (if Rng.bool rng then `Trivial else `Recompute)
   else Plain
@@ -186,6 +195,17 @@ let schedule_of_variant (prog : A.program) variant =
     match List.find_map Fusion.pingpong_of_item sched with
     | Some pp when List.length sched = 1 ->
       Some (Fusion.fuse_pingpong pp ~schedule:segments)
+    | Some _ | None -> None)
+  | Temporal_blocked degree -> (
+    (* The schedule itself is untouched — blocking is applied by the
+       oracle through [Runner.temporal_rewrite] after plans attach.  The
+       variant applies only when the loop is a blockable ping-pong deep
+       enough for at least one blocked launch. *)
+    match List.find_map Fusion.pingpong_of_item sched with
+    | Some (t, k, out, inp)
+      when List.length sched = 1 && t >= degree
+           && Fusion.block_legal k ~out ~inp ->
+      Some sched
     | Some _ | None -> None)
   | Fissioned which ->
     let items =

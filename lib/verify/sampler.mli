@@ -13,6 +13,9 @@ type variant =
           time-tile segments (sum = iteration count) *)
   | Fissioned of [ `Trivial | `Recompute ]
       (** split every multi-output kernel into fission parts *)
+  | Temporal_blocked of int
+      (** rewrite the ping-pong loop into degree-N blocked launches
+          ([Runner.temporal_rewrite]); bit-exact vs the plain schedule *)
 
 type cfg = {
   device : [ `P100 | `V100 ];
@@ -43,6 +46,12 @@ val trials : Rng.t -> Gen.case -> trial list
     shrinking the block like the tuner's validity filter would; [None]
     when no launchable plan exists. *)
 val plan_of : cfg -> Artemis_dsl.Instantiate.kernel -> Artemis_ir.Plan.t option
+
+(** Halve the largest block extent until the plan validates (at most the
+    given number of tries) — the tuner's validity filter, exposed so the
+    oracle can re-shrink temporally blocked plans whose deeper halo
+    windows overflow shared memory at the degree-1 block shape. *)
+val shrink_valid : Artemis_ir.Plan.t -> int -> Artemis_ir.Plan.t
 
 (** The concrete schedule a variant denotes for a program: [None] when
     the variant does not apply (e.g. fusion of a non-ping-pong program —

@@ -23,6 +23,7 @@ let () =
       Test_static.tests;
       Test_verify.tests;
       Test_par.tests;
+      Test_temporal.tests;
       Test_suite_bench.tests;
       Test_driver.tests;
       Test_extensions.tests;

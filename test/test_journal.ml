@@ -139,6 +139,26 @@ let tests =
             (String.length serial > 0);
           Alcotest.(check string) "byte-identical JSONL" serial parallel)
       ;
+      case "temporal tuning journals byte-identically at jobs=1 and jobs=4"
+        (fun () ->
+          (* tuner.temporal events are folded on the main domain in
+             canonical candidate order, like tuner.candidate — the
+             worker count must not leak into the byte stream. *)
+          let run () =
+            Artemis.Measure_cache.clear ();
+            Journal.start ();
+            let b = Suite.at_size 32 (Suite.find "7pt-smoother") in
+            ignore (Artemis.deep_tune ~max_tile:2 ~max_degree:2 b.Suite.prog);
+            let out = Journal.to_jsonl () in
+            Journal.stop ();
+            out
+          in
+          let serial = with_pool ~jobs:1 ~force:false run in
+          let parallel = with_pool ~jobs:4 ~force:true run in
+          Alcotest.(check bool) "tuner.temporal events present" true
+            (events_of_kind "tuner.temporal" serial <> []);
+          Alcotest.(check string) "byte-identical JSONL" serial parallel)
+      ;
       case "provenance report accounts for every candidate" (fun () ->
           let jsonl = with_pool ~jobs:1 ~force:false run_pipeline in
           let events = Journal.parse_jsonl jsonl in

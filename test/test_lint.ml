@@ -521,7 +521,7 @@ let all_violations =
   [ V.Too_many_threads 2048; V.Bad_block_dim (0, 2000);
     V.Shared_overflow (65536, 49152); V.Regs_overflow (300, 255);
     V.Zero_occupancy "registers"; V.Bad_stream_dim 3; V.Bad_unroll (0, 99);
-    V.Empty_tile 1 ]
+    V.Empty_tile 1; V.Bad_degree 0 ]
 
 let expected_tag = function
   | V.Too_many_threads _ -> "too-many-threads"
@@ -532,6 +532,7 @@ let expected_tag = function
   | V.Bad_stream_dim _ -> "bad-stream-dim"
   | V.Bad_unroll _ -> "bad-unroll"
   | V.Empty_tile _ -> "empty-tile"
+  | V.Bad_degree _ -> "bad-degree"
 
 let validate_cases =
   [ case "violation_tag round-trips every constructor" (fun () ->

@@ -219,6 +219,7 @@ let prop_dp_matches_bruteforce =
           (fun i t ->
             {
               Deep.time_tile = i + 1;
+              degree = 1;
               record =
                 { Artemis_tune.Hierarchical.best = { m0 with time_s = t };
                   explored = 0; phase1_best = m0; history = [] };

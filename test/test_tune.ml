@@ -113,6 +113,7 @@ let tests =
           let mk tt time =
             {
               Deep.time_tile = tt;
+              degree = 1;
               record =
                 (let k = jacobi ~n:16 () in
                  let base = Lower.lower dev k O.default in
@@ -175,6 +176,44 @@ let tests =
           Alcotest.(check bool) "measured <= attempted" true
             (r.measured <= r.attempted);
           Alcotest.(check bool) "something measured" true (r.measured > 0));
+      case "measure-cache keys cover the temporal fields" (fun () ->
+          (* Regression: plans differing only in the temporal dimension
+             must never share a cache entry. *)
+          let k = jacobi ~n:32 () in
+          let p = Lower.lower dev k O.default in
+          let tb degree halo tbuf =
+            { p with
+              Plan.temporal = { Plan.degree; halo; tbuf; pair = Some ("out", "in") }
+            }
+          in
+          let variants =
+            [ p;
+              tb 1 Plan.Halo_recompute Plan.Shared_double;
+              tb 2 Plan.Halo_recompute Plan.Shared_double;
+              tb 4 Plan.Halo_recompute Plan.Shared_double;
+              tb 2 Plan.Halo_exchange Plan.Shared_double;
+              tb 2 Plan.Halo_recompute Plan.Register_cycle ]
+          in
+          let keys = List.map Artemis_tune.Measure_cache.key_of variants in
+          Alcotest.(check int) "all keys distinct" (List.length keys)
+            (List.length (List.sort_uniq compare keys)));
+      case "deep exploration picks the degree jointly with the width" (fun () ->
+          let k = jacobi () in
+          let plan_of fused = Lower.lower dev fused O.default in
+          let r =
+            Deep.explore ~max_tile:2 ~max_degree:4 ~plan_of k ~out:"out" ~inp:"in"
+          in
+          Alcotest.(check bool) "some version is temporally blocked" true
+            (List.exists (fun (v : Deep.version) -> v.degree > 1) r.versions);
+          (* The opt(T) DP composes over covered steps and still covers
+             any T exactly, including odd counts no blocked version can
+             reach on its own. *)
+          List.iter
+            (fun t ->
+              let sched, _ = Deep.optimal_schedule r ~t in
+              Alcotest.(check int) (Printf.sprintf "sum=%d" t) t
+                (List.fold_left ( + ) 0 sched))
+            [ 1; 3; 8; 13 ]);
       case "optimal_schedule rejects negative T" (fun () ->
           let k = jacobi ~n:16 () in
           let plan_of fused = Lower.lower dev fused O.default in
