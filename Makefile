@@ -3,7 +3,7 @@
 TRACE   := /tmp/artemis-trace.json
 REPORT  := /tmp/artemis-report.json
 
-.PHONY: all build test check bench trace-smoke lint-smoke analyze-smoke fuzz-smoke perf-smoke wavefront-smoke tb-smoke obs-smoke clean
+.PHONY: all build test check bench trace-smoke lint-smoke analyze-smoke fuzz-smoke perf-smoke wavefront-smoke tb-smoke model-smoke obs-smoke clean
 
 all: build
 
@@ -25,6 +25,7 @@ check:
 	$(MAKE) perf-smoke
 	$(MAKE) wavefront-smoke
 	$(MAKE) tb-smoke
+	$(MAKE) model-smoke
 	$(MAKE) obs-smoke
 
 bench:
@@ -88,6 +89,14 @@ wavefront-smoke:
 # degree above 1 with lower modeled per-step DRAM traffic.
 tb-smoke:
 	dune exec bench/main.exe -- tb-smoke
+
+# Warp-model smoke test (docs/MODEL.md): on every registry device the
+# measurement-free pre-rank must pick the same winning plan as
+# exhaustive measurement from strictly fewer measurements, and the
+# decision journal with pre-ranking on must be byte-identical at jobs=1
+# and jobs=4.
+model-smoke:
+	dune exec bench/main.exe -- model-smoke
 
 # Provenance smoke test (docs/OBSERVABILITY.md): the explain report must
 # be byte-identical at jobs=1 and jobs=4 (every tuner decision journaled

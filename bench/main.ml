@@ -647,31 +647,44 @@ type tuner_cfg = {
   cfg_interp : bool;  (* interpreter-backed evaluation (pre-PR) *)
   cfg_bypass : bool;  (* measurement cache off (pre-PR) *)
   cfg_warm : bool;  (* keep the cache from the previous row *)
+  cfg_prerank : float;  (* warp-model pre-rank keep %% (100 = off) *)
 }
 
 let tuner_configs =
   [ { cfg_name = "pre-pr-serial"; cfg_jobs = 1; cfg_interp = true; cfg_bypass = true;
-      cfg_warm = false };
+      cfg_warm = false; cfg_prerank = 100.0 };
     { cfg_name = "serial-cold"; cfg_jobs = 1; cfg_interp = false; cfg_bypass = false;
-      cfg_warm = false };
+      cfg_warm = false; cfg_prerank = 100.0 };
     { cfg_name = "jobs4-cold"; cfg_jobs = 4; cfg_interp = false; cfg_bypass = false;
-      cfg_warm = false };
+      cfg_warm = false; cfg_prerank = 100.0 };
     { cfg_name = "jobs4-warm"; cfg_jobs = 4; cfg_interp = false; cfg_bypass = false;
-      cfg_warm = true } ]
+      cfg_warm = true; cfg_prerank = 100.0 };
+    { cfg_name = "prerank-serial-cold"; cfg_jobs = 1; cfg_interp = false;
+      cfg_bypass = false; cfg_warm = false;
+      cfg_prerank = Artemis.Hierarchical.default_prerank_keep };
+    { cfg_name = "prerank-jobs4-cold"; cfg_jobs = 4; cfg_interp = false;
+      cfg_bypass = false; cfg_warm = false;
+      cfg_prerank = Artemis.Hierarchical.default_prerank_keep };
+    { cfg_name = "prerank-jobs4-warm"; cfg_jobs = 4; cfg_interp = false;
+      cfg_bypass = false; cfg_warm = true;
+      cfg_prerank = Artemis.Hierarchical.default_prerank_keep } ]
 
 let with_tuner_cfg cfg f =
   let saved_jobs = Artemis.Pool.jobs () in
   let saved_interp = !Artemis_exec.Eval.use_interpreter in
   let saved_bypass = !Artemis.Measure_cache.bypass in
+  let saved_prerank = !Artemis.Hierarchical.prerank_keep in
   Artemis.Pool.set_jobs cfg.cfg_jobs;
   Artemis_exec.Eval.use_interpreter := cfg.cfg_interp;
   Artemis.Measure_cache.bypass := cfg.cfg_bypass;
+  Artemis.Hierarchical.prerank_keep := cfg.cfg_prerank;
   if not cfg.cfg_warm then Artemis.Measure_cache.clear ();
   Fun.protect
     ~finally:(fun () ->
       Artemis.Pool.set_jobs saved_jobs;
       Artemis_exec.Eval.use_interpreter := saved_interp;
-      Artemis.Measure_cache.bypass := saved_bypass)
+      Artemis.Measure_cache.bypass := saved_bypass;
+      Artemis.Hierarchical.prerank_keep := saved_prerank)
     f
 
 let wall f =
@@ -731,31 +744,64 @@ let tuner_components ~fuzz_cases ~max_tile ~exec_reps =
   [ ("optimize", opt); ("deep", deep); ("fuzz", fuzz); ("exec", exec) ]
 
 (* Run every configuration; returns per-config (component, seconds,
-   artifact) rows. *)
+   artifact, analytic measures) rows — the measure count is the
+   [exec.analytic_measures] delta over the component, the denominator of
+   the pre-rank savings indicator. *)
+let m_measures = Artemis.Metrics.counter "exec.analytic_measures"
+
+let measured_row (name, f) =
+  let before = Artemis.Metrics.counter_value m_measures in
+  let s, artifact = wall f in
+  let measures = Artemis.Metrics.counter_value m_measures -. before in
+  (name, s, artifact, measures)
+
 let tuner_matrix ~fuzz_cases ~max_tile ~exec_reps =
   List.map
     (fun cfg ->
       let rows =
         with_tuner_cfg cfg (fun () ->
-            List.map
-              (fun (name, f) ->
-                let s, artifact = wall f in
-                (name, s, artifact))
+            List.map measured_row
               (tuner_components ~fuzz_cases ~max_tile ~exec_reps))
       in
       (cfg, rows))
     tuner_configs
 
-let total rows = List.fold_left (fun acc (_, s, _) -> acc +. s) 0.0 rows
+let total rows = List.fold_left (fun acc (_, s, _, _) -> acc +. s) 0.0 rows
 
 (* The memoized components — the ones a warm cache can short-circuit. *)
 let cached_total rows =
   List.fold_left
-    (fun acc (name, s, _) ->
+    (fun acc (name, s, _, _) ->
       if name = "optimize" || name = "deep" then acc +. s else acc)
     0.0 rows
 
-let artifacts rows = List.map (fun (name, _, a) -> (name, a)) rows
+(* Analytic measurements spent on the tuning components — the work the
+   warp-model pre-rank is meant to save.  The fuzz and exec components
+   never enter the tuner, so they are excluded on both sides. *)
+let tuned_measures rows =
+  List.fold_left
+    (fun acc (name, _, _, m) ->
+      if name = "optimize" || name = "deep" then acc +. m else acc)
+    0.0 rows
+
+let artifacts rows = List.map (fun (name, _, a, _) -> (name, a)) rows
+
+(* Plan-identity view of a row's artifacts: the optimize artifact
+   carries the measurement count ("explored=N"), which pre-ranking is
+   designed to shrink, so prerank rows are compared on the chosen plans
+   alone. *)
+let strip_explored a =
+  let marker = " explored=" in
+  let alen = String.length a and mlen = String.length marker in
+  let rec find i =
+    if i + mlen > alen then a
+    else if String.sub a i mlen = marker then String.sub a 0 i
+    else find (i + 1)
+  in
+  find 0
+
+let plan_artifacts rows =
+  List.map (fun (name, _, a, _) -> (name, strip_explored a)) rows
 
 let tuner_report matrix =
   let find name = List.find (fun (c, _) -> c.cfg_name = name) matrix in
@@ -764,14 +810,33 @@ let tuner_report matrix =
   let warm4 = snd (find "jobs4-warm") in
   let speedup = total pre /. Float.max (total cold4) 1e-9 in
   let warm_speedup = cached_total cold4 /. Float.max (cached_total warm4) 1e-9 in
+  (* Full-artifact byte-identity across the prerank-off rows (the
+     original jobs/cache invariant), plan identity for the prerank rows
+     (same winner from a fraction of the measurements). *)
   let plans_equal =
-    List.for_all (fun (_, rows) -> artifacts rows = artifacts pre) matrix
+    List.for_all
+      (fun (cfg, rows) -> cfg.cfg_prerank < 100.0 || artifacts rows = artifacts pre)
+      matrix
   in
-  (speedup, warm_speedup, plans_equal)
+  let prerank_plan_equal =
+    List.for_all
+      (fun (cfg, rows) ->
+        cfg.cfg_prerank >= 100.0 || plan_artifacts rows = plan_artifacts pre)
+      matrix
+  in
+  let measurements_saved_pct =
+    let off = tuned_measures (snd (find "serial-cold")) in
+    let on = tuned_measures (snd (find "prerank-serial-cold")) in
+    if off <= 0.0 then 0.0 else (off -. on) /. off *. 100.0
+  in
+  (speedup, warm_speedup, plans_equal, prerank_plan_equal, measurements_saved_pct)
 
 let write_tuner_json matrix =
   let module J = Artemis.Json in
-  let speedup, warm_speedup, plans_equal = tuner_report matrix in
+  let speedup, warm_speedup, plans_equal, prerank_plan_equal,
+      measurements_saved_pct =
+    tuner_report matrix
+  in
   let doc =
     J.Obj
       [ ("meta", bench_meta ());
@@ -787,19 +852,23 @@ let write_tuner_json matrix =
                        (if cfg.cfg_bypass then "off"
                         else if cfg.cfg_warm then "warm"
                         else "cold"));
+                    ("prerank_keep_pct", J.Float cfg.cfg_prerank);
                     ("total_wall_s", J.Float (total rows));
                     ("components",
                      J.List
                        (List.map
-                          (fun (name, s, artifact) ->
+                          (fun (name, s, artifact, measures) ->
                             J.Obj
                               [ ("name", J.Str name); ("wall_s", J.Float s);
-                                ("artifact", J.Str artifact) ])
+                                ("artifact", J.Str artifact);
+                                ("analytic_measures", J.Float measures) ])
                           rows)) ])
               matrix));
         ("speedup_jobs4_vs_pre", J.Float speedup);
         ("warm_speedup", J.Float warm_speedup);
-        ("plans_equal", J.Bool plans_equal) ]
+        ("plans_equal", J.Bool plans_equal);
+        ("prerank_plan_equal", J.Bool prerank_plan_equal);
+        ("measurements_saved_pct", J.Float measurements_saved_pct) ]
   in
   let oc = open_out "BENCH_tuner.json" in
   Fun.protect
@@ -812,14 +881,19 @@ let tuner () =
   let matrix = tuner_matrix ~fuzz_cases:60 ~max_tile:3 ~exec_reps:20 in
   List.iter
     (fun (cfg, rows) ->
-      Printf.printf "%-14s" cfg.cfg_name;
-      List.iter (fun (name, s, _) -> Printf.printf "  %s %6.2fs" name s) rows;
+      Printf.printf "%-19s" cfg.cfg_name;
+      List.iter (fun (name, s, _, _) -> Printf.printf "  %s %6.2fs" name s) rows;
       Printf.printf "  | total %6.2fs\n%!" (total rows))
     matrix;
-  let speedup, warm_speedup, plans_equal = tuner_report matrix in
+  let speedup, warm_speedup, plans_equal, prerank_plan_equal,
+      measurements_saved_pct =
+    tuner_report matrix
+  in
   Printf.printf "speedup jobs4-cold vs pre-PR : %.2fx\n" speedup;
   Printf.printf "warm-cache speedup (tuning)  : %.2fx\n" warm_speedup;
-  Printf.printf "artifacts identical          : %b\n%!" plans_equal;
+  Printf.printf "artifacts identical          : %b\n" plans_equal;
+  Printf.printf "prerank same plans           : %b\n" prerank_plan_equal;
+  Printf.printf "prerank measurements saved   : %.1f%%\n%!" measurements_saved_pct;
   write_tuner_json matrix
 
 (* Hidden smoke variant (resolvable by name only, not part of the
@@ -830,17 +904,14 @@ let tuner_smoke () =
   let configs =
     [ List.nth tuner_configs 0;
       { cfg_name = "jobs2-cold"; cfg_jobs = 2; cfg_interp = false;
-        cfg_bypass = false; cfg_warm = false } ]
+        cfg_bypass = false; cfg_warm = false; cfg_prerank = 100.0 } ]
   in
   let matrix =
     List.map
       (fun cfg ->
         let rows =
           with_tuner_cfg cfg (fun () ->
-              List.map
-                (fun (name, f) ->
-                  let s, artifact = wall f in
-                  (name, s, artifact))
+              List.map measured_row
                 (tuner_components ~fuzz_cases:12 ~max_tile:2 ~exec_reps:4))
         in
         (cfg, rows))
@@ -858,6 +929,74 @@ let tuner_smoke () =
   end;
   if speedup < 1.0 then begin
     Printf.eprintf "perf-smoke FAILED: speedup %.2fx < 1.0x\n" speedup;
+    exit 1
+  end
+
+(* Hidden smoke variant (`make model-smoke`): on every registry device,
+   tuning with the warp-model pre-rank must pick the same plan as
+   exhaustive measurement while measuring strictly fewer
+   configurations, and the decision journal with pre-ranking on must be
+   byte-identical between jobs=1 and jobs=4. *)
+let model_smoke () =
+  header "model smoke: warp-model pre-rank per registry device";
+  let k = List.hd (Suite.kernels (Suite.at_size 32 (Suite.find "7pt-smoother"))) in
+  let with_prerank pct f =
+    let saved = !Artemis.Hierarchical.prerank_keep in
+    Artemis.Hierarchical.prerank_keep := pct;
+    Fun.protect ~finally:(fun () -> Artemis.Hierarchical.prerank_keep := saved) f
+  in
+  let tune_with pct device =
+    Artemis.Measure_cache.clear ();
+    let before = Artemis.Metrics.counter_value m_measures in
+    let r = with_prerank pct (fun () -> Artemis.optimize_kernel ~device k) in
+    ( Plan.label r.tuned.plan,
+      Artemis.Metrics.counter_value m_measures -. before )
+  in
+  List.iter
+    (fun (alias, device) ->
+      let plan_off, n_off = tune_with 100.0 device in
+      let plan_on, n_on =
+        tune_with Artemis.Hierarchical.default_prerank_keep device
+      in
+      Printf.printf "%-5s measures %4.0f -> %4.0f  %s\n%!" alias n_off n_on
+        plan_on;
+      if plan_off <> plan_on then begin
+        Printf.eprintf
+          "model-smoke FAILED: %s winner changed under pre-rank (%s vs %s)\n"
+          alias plan_off plan_on;
+        exit 1
+      end;
+      if n_on >= n_off then begin
+        Printf.eprintf
+          "model-smoke FAILED: %s pre-rank saved no measurements (%.0f >= %.0f)\n"
+          alias n_on n_off;
+        exit 1
+      end)
+    Artemis.Device.registry;
+  (* Journal byte-identity at jobs=1 vs jobs=4 with pre-ranking on: the
+     prerank decisions are journaled on the main domain in canonical
+     order, so fan-out must not show. *)
+  let journal_with jobs =
+    let saved_jobs = Artemis.Pool.jobs () in
+    Artemis.Pool.set_jobs jobs;
+    Fun.protect
+      ~finally:(fun () -> Artemis.Pool.set_jobs saved_jobs)
+      (fun () ->
+        Artemis.Measure_cache.clear ();
+        Artemis.Journal.start ();
+        ignore
+          (with_prerank Artemis.Hierarchical.default_prerank_keep (fun () ->
+               Artemis.optimize_kernel k));
+        let out = Artemis.Journal.to_jsonl () in
+        Artemis.Journal.stop ();
+        out)
+  in
+  let serial = journal_with 1 and fanned = journal_with 4 in
+  Printf.printf "journal jobs=1 vs jobs=4 identical %b\n%!" (serial = fanned);
+  if serial <> fanned then begin
+    prerr_endline
+      "model-smoke FAILED: journal differs between jobs=1 and jobs=4 with \
+       pre-ranking on";
     exit 1
   end
 
@@ -1494,7 +1633,8 @@ let all_experiments =
 (* Runnable by explicit name only — not part of the default sweep. *)
 let hidden_experiments =
   [ ("tuner-smoke", tuner_smoke); ("exec-smoke", exec_smoke);
-    ("wavefront-smoke", wavefront_smoke); ("tb-smoke", tb_smoke) ]
+    ("wavefront-smoke", wavefront_smoke); ("tb-smoke", tb_smoke);
+    ("model-smoke", model_smoke) ]
 
 let () =
   Printf.printf "ARTEMIS reproduction benchmarks — %s\n%!"

@@ -89,6 +89,39 @@ let max_degree_arg =
                  ping-pong time loop up to degree $(docv) (powers of two; \
                  default 1 = off)")
 
+let device_conv =
+  let parse s =
+    match Artemis.Device.find s with
+    | Some d -> Ok d
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown device %S (known: %s)" s
+              (String.concat ", " (List.map fst Artemis.Device.registry))))
+  in
+  let print fmt (d : Artemis.Device.t) = Format.pp_print_string fmt d.name in
+  Arg.conv (parse, print)
+
+let device_arg =
+  let env =
+    Cmd.Env.info "ARTEMIS_DEVICE"
+      ~doc:"Target device, like $(b,--device); the flag wins when both are set."
+  in
+  Arg.(value & opt device_conv Artemis.Device.p100
+       & info [ "device" ] ~docv:"NAME" ~env
+           ~doc:"Target device from the registry (p100, v100, a100, h100; \
+                 default p100).  Picks the machine model every plan is \
+                 lowered, validated, and timed against.")
+
+let prerank_arg =
+  Arg.(value & opt (some float) None
+       & info [ "prerank-keep" ] ~docv:"PCT"
+           ~doc:"Measure only the top $(docv)%% of each tuning phase's \
+                 candidates as ranked by the measurement-free warp model \
+                 (docs/MODEL.md); 100 disables pre-ranking.  Default 25.")
+
+let set_prerank pct = Option.iter (fun p -> Artemis.Hierarchical.prerank_keep := p) pct
+
 (** The ping-pong (out, inp) pair of a program's time loop, if any — what
     temporal blocking needs to attach to a plan. *)
 let pingpong_pair_of prog =
@@ -198,7 +231,7 @@ let kernels_of prog =
     finding).  Semantic failures short-circuit into A0xx findings; with
     [~plan] the baseline pragma plan of every scheduled kernel is linted
     too. *)
-let findings_of ~plan prog =
+let findings_of ~device ~plan prog =
   match Artemis.Check.check_all prog with
   | _ :: _ as msgs -> Artemis.Lint.semantic_findings msgs
   | [] ->
@@ -207,7 +240,7 @@ let findings_of ~plan prog =
          List.concat_map
            (fun k ->
              Artemis.Lint.lint_plan
-               (Artemis.Lower.lower_with_pragma Artemis.Device.p100 k
+               (Artemis.Lower.lower_with_pragma device k
                   Artemis.Options.default))
            (kernels_of prog)
        else [])
@@ -265,12 +298,12 @@ let lint_cmd =
     | [] -> `Ok ()
     | es -> `Error (false, Printf.sprintf "%d lint error(s)" (List.length es))
   in
-  let run trace path plan json suite =
+  let run trace device path plan json suite =
     with_trace trace @@ fun () ->
     if suite then
       let findings =
         List.concat_map
-          (fun (b : Artemis.Suite.t) -> findings_of ~plan b.prog)
+          (fun (b : Artemis.Suite.t) -> findings_of ~device ~plan b.prog)
           Artemis.Suite.all
       in
       (if (not json) && findings = [] then
@@ -281,7 +314,7 @@ let lint_cmd =
       | None -> `Error (true, "PROG.stc required unless --suite is given")
       | Some path -> (
         match read_unchecked path with
-        | `Ok prog -> emit_and_status json (findings_of ~plan prog)
+        | `Ok prog -> emit_and_status json (findings_of ~device ~plan prog)
         | `Error _ as e -> e)
   in
   Cmd.v
@@ -289,7 +322,8 @@ let lint_cmd =
        ~doc:"Whole-pipeline diagnostics: hazards, bounds, liveness, and \
              resource feasibility (codes catalogued in docs/LINT.md); exits \
              non-zero when any Error-level finding is reported")
-    Term.(ret (const run $ trace_arg $ path_opt_arg $ plan_arg $ json_arg $ suite_arg))
+    Term.(ret (const run $ trace_arg $ device_arg $ path_opt_arg $ plan_arg
+               $ json_arg $ suite_arg))
 
 (* ---------------- analyze ---------------- *)
 
@@ -490,7 +524,7 @@ let analyze_cmd =
                (kernels_of prog)) );
         ("findings", Artemis.Lint.findings_to_json findings) ]
   in
-  let run trace path plan json suite fuzz cases =
+  let run trace device path plan json suite fuzz cases =
     with_trace trace @@ fun () ->
     let programs =
       if suite then
@@ -517,7 +551,8 @@ let analyze_cmd =
     | `Error _ as e -> e
     | `Ok programs ->
       let analyzed =
-        List.map (fun (name, prog) -> (name, prog, findings_of ~plan prog))
+        List.map
+          (fun (name, prog) -> (name, prog, findings_of ~device ~plan prog))
           programs
       in
       let findings = List.concat_map (fun (_, _, fs) -> fs) analyzed in
@@ -547,19 +582,19 @@ let analyze_cmd =
              concrete), exact dependence distances with hyperplane legality, \
              and the A7xx findings they back (docs/ANALYSIS.md); exit status \
              agrees with $(b,lint)")
-    Term.(ret (const run $ trace_arg $ path_opt_arg $ plan_arg $ json_arg
-               $ suite_arg $ fuzz_arg $ cases_arg))
+    Term.(ret (const run $ trace_arg $ device_arg $ path_opt_arg $ plan_arg
+               $ json_arg $ suite_arg $ fuzz_arg $ cases_arg))
 
 (* ---------------- compile ---------------- *)
 
 let compile_cmd =
-  let run trace path out =
+  let run trace device path out =
     with_trace trace @@ fun () ->
     match read_program path with
     | `Ok prog ->
       let k = Artemis.first_kernel prog in
       let plan =
-        Artemis.Lower.lower_with_pragma Artemis.Device.p100 k Artemis.Options.default
+        Artemis.Lower.lower_with_pragma device k Artemis.Options.default
       in
       Artemis.Validate.check plan;
       write_output out (Artemis.Cuda.emit plan)
@@ -568,7 +603,7 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile"
        ~doc:"Generate the baseline CUDA version from the program's pragma")
-    Term.(ret (const run $ trace_arg $ path_arg $ out_arg))
+    Term.(ret (const run $ trace_arg $ device_arg $ path_arg $ out_arg))
 
 (* ---------------- optimize ---------------- *)
 
@@ -577,15 +612,17 @@ let optimize_cmd =
     Arg.(value & flag & info [ "iterative" ]
            ~doc:"Apply the fusion guideline for time-iterated stencils")
   in
-  let run trace jobs cache_dir path out iterative max_degree report_json =
+  let run trace jobs cache_dir device prerank path out iterative max_degree
+      report_json =
     with_trace trace @@ fun () ->
     set_jobs jobs;
     set_cache_dir cache_dir;
+    set_prerank prerank;
     match read_program path with
     | `Ok prog ->
       let k = Artemis.first_kernel prog in
       let r =
-        Artemis.optimize_kernel ~iterative ~max_degree
+        Artemis.optimize_kernel ~device ~iterative ~max_degree
           ?pingpong:(if max_degree > 1 then pingpong_pair_of prog else None)
           k
       in
@@ -625,8 +662,9 @@ let optimize_cmd =
        ~doc:"Profile, hierarchically autotune, and emit the best CUDA version")
     Term.(
       ret
-        (const run $ trace_arg $ jobs_arg $ cache_dir_arg $ path_arg $ out_arg
-         $ iterative $ max_degree_arg $ report_json_arg))
+        (const run $ trace_arg $ jobs_arg $ cache_dir_arg $ device_arg
+         $ prerank_arg $ path_arg $ out_arg $ iterative $ max_degree_arg
+         $ report_json_arg))
 
 (* ---------------- deep ---------------- *)
 
@@ -660,14 +698,16 @@ let deep_cmd =
            ~doc:"Build the fusion schedule for $(docv) iterations instead of \
                  the program's own count")
   in
-  let run trace jobs cache_dir path iterations max_degree report_json =
+  let run trace jobs cache_dir device prerank path iterations max_degree
+      report_json =
     with_trace trace @@ fun () ->
     set_jobs jobs;
     set_cache_dir cache_dir;
+    set_prerank prerank;
     match read_program path with
     | `Ok prog -> (
       try
-        let dr = Artemis.deep_tune ~max_degree prog in
+        let dr = Artemis.deep_tune ~device ~max_degree prog in
         List.iter
           (fun (v : Artemis.Deep.version) ->
             Printf.printf "(%dx%d): %.3f TFLOPS  [%s]\n" v.time_tile v.degree
@@ -694,8 +734,9 @@ let deep_cmd =
        ~doc:"Deep-tune an iterative ping-pong program (Section VI-A)")
     Term.(
       ret
-        (const run $ trace_arg $ jobs_arg $ cache_dir_arg $ path_arg $ iterations
-         $ max_degree_arg $ report_json_arg))
+        (const run $ trace_arg $ jobs_arg $ cache_dir_arg $ device_arg
+         $ prerank_arg $ path_arg $ iterations $ max_degree_arg
+         $ report_json_arg))
 
 (* ---------------- bench ---------------- *)
 
@@ -704,22 +745,23 @@ let bench_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
            ~doc:"Suite benchmark name (see 'artemisc list')")
   in
-  let run trace name =
+  let run trace device prerank name =
     with_trace trace @@ fun () ->
+    set_prerank prerank;
     match Artemis.Suite.find name with
     | exception Invalid_argument msg -> `Error (false, msg)
     | b ->
       let ks = Artemis.Suite.kernels b in
       List.iter
         (fun k ->
-          let r = Artemis.optimize_kernel ~iterative:b.iterative k in
+          let r = Artemis.optimize_kernel ~device ~iterative:b.iterative k in
           Printf.printf "%s: %.3f TFLOPS  %s\n" k.Artemis.Instantiate.kname
             r.tuned.tflops (Artemis.Plan.label r.tuned.plan))
         ks;
       `Ok ()
   in
   Cmd.v (Cmd.info "bench" ~doc:"Optimize one Table-I benchmark end to end")
-    Term.(ret (const run $ trace_arg $ name_arg))
+    Term.(ret (const run $ trace_arg $ device_arg $ prerank_arg $ name_arg))
 
 let list_cmd =
   let run trace () =
@@ -790,11 +832,12 @@ let explain_cmd =
     | Json.Obj fields -> Json.Obj (fields @ [ ("plans", Json.List plans) ])
     | other -> other
   in
-  let run trace jobs cache_dir path bench plan json journal deep max_tile
-      max_degree =
+  let run trace jobs cache_dir device prerank path bench plan json journal
+      deep max_tile max_degree =
     with_trace trace @@ fun () ->
     set_jobs jobs;
     set_cache_dir cache_dir;
+    set_prerank prerank;
     let source =
       match (bench, path) with
       | Some _, Some _ -> `Error (false, "give PROG.stc or --bench NAME, not both")
@@ -817,7 +860,8 @@ let explain_cmd =
       in
       let results =
         List.map
-          (fun k -> Artemis.optimize_kernel ~iterative ~max_degree ?pingpong k)
+          (fun k ->
+            Artemis.optimize_kernel ~device ~iterative ~max_degree ?pingpong k)
           (kernels_of prog)
       in
       (* Iterative benchmarks get the Section VI-A flow too, so the
@@ -825,7 +869,7 @@ let explain_cmd =
          loudly on programs with no ping-pong loop. *)
       let deep_error =
         if deep || iterative then
-          match Artemis.deep_tune ?max_tile ~max_degree prog with
+          match Artemis.deep_tune ~device ?max_tile ~max_degree prog with
           | (_ : Artemis.deep_result) -> None
           | exception Invalid_argument msg -> if deep then Some msg else None
         else None
@@ -869,9 +913,9 @@ let explain_cmd =
              traffic breakdown against the machine model")
     Term.(
       ret
-        (const run $ trace_arg $ jobs_arg $ cache_dir_arg $ path_opt_arg
-         $ bench_arg $ plan_arg $ json_arg $ journal_arg $ deep_flag
-         $ max_tile_arg $ max_degree_arg))
+        (const run $ trace_arg $ jobs_arg $ cache_dir_arg $ device_arg
+         $ prerank_arg $ path_opt_arg $ bench_arg $ plan_arg $ json_arg
+         $ journal_arg $ deep_flag $ max_tile_arg $ max_degree_arg))
 
 (* ---------------- bench-diff ---------------- *)
 

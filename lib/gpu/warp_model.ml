@@ -1,0 +1,173 @@
+(* Warp-level analytical runtime estimator (Ernst et al., "Analytical
+   Performance Estimation during Code Generation on Modern GPUs"): a
+   measurement-free composition of per-warp issue latency, memory-level
+   parallelism, and per-device bandwidth ceilings.
+
+   Where [Timing.evaluate] prices a fully-counted workload (the exact
+   whole-grid counters the block executor would charge), this model
+   prices a cheap sketch of it: whole-grid totals scaled up from one
+   representative block, plus the plan's static resource picture.  The
+   tuner uses it to *rank* candidates before spending a full analytic
+   measurement, so absolute accuracy matters less than monotonicity —
+   more DRAM traffic or lower occupancy must never predict faster at
+   fixed everything-else (pinned by test/test_warp_model.ml).
+
+   The composition, per dependence phase of the launch:
+
+     warp issue    one warp's dependent chain issues an instruction every
+                   [dp_latency] cycles; [warps-per-scheduler x ilp]
+                   concurrent chains hide the gaps.  Saturation is the
+                   latency knee ([Device.latency_knee_occupancy]).
+     MLP           a resident warp keeps a bounded number of 32-byte
+                   sectors in flight; the DRAM/L2 pipes only reach their
+                   bandwidth ceiling once the in-flight bytes cover the
+                   bandwidth-latency product.
+     bandwidth     DRAM / texture-L2 / shared ceilings from [Device.t],
+                   each divided by its achieved utilization.
+     serialization wavefront kernel classes run the grid in [serial_waves]
+                   phases; per-phase parallelism (and every utilization
+                   factor with it) drops accordingly, and each phase
+                   transition pays a launch round trip. *)
+
+type inputs = {
+  occupancy : Occupancy.result;
+  ilp : float;  (** independent instructions per thread between dependences *)
+  blocks : int;  (** total thread blocks launched *)
+  threads_per_block : int;
+  useful_flops : float;  (** whole-grid useful FLOPs *)
+  total_flops : float;  (** whole-grid executed FLOPs (redundancy included) *)
+  dram_bytes : float;  (** whole-grid DRAM traffic incl. spills *)
+  sectors : float;  (** whole-grid 32-byte global transactions *)
+  shm_bytes : float;  (** whole-grid shared-memory traffic *)
+  syncs_per_block : float;
+  prefetch : bool;
+  serial_waves : int;  (** dependence-forced launch phases; 1 = none *)
+}
+
+type prediction = {
+  t_issue : float;  (** warp issue/latency chain, seconds *)
+  t_dram : float;
+  t_tex : float;
+  t_shm : float;
+  t_overhead : float;  (** barriers + phase transitions, seconds *)
+  mlp : float;  (** achieved memory-level parallelism factor in [0, 1] *)
+  u_issue : float;  (** latency-hiding issue utilization in [0, 1] *)
+  time_s : float;
+}
+
+(* Memory round-trip latencies the in-flight sectors must cover (cycles).
+   Microbenchmarked orders of magnitude (Jia et al.): ~400 for DRAM,
+   ~200 for an L2 hit.  Model constants, not per-device data — the
+   per-device lever is the bandwidth-latency product they multiply. *)
+let dram_latency_cycles = 400.0
+let tex_latency_cycles = 200.0
+
+(* Sectors one warp keeps in flight: each independent instruction slot
+   holds a load whose 64-bit accesses split into multiple 32-byte
+   sectors (~4 per slot across the warp's unrolled lanes), bounded by
+   the per-warp LSU/MSHR queue depth (~16 outstanding requests on
+   Pascal..Hopper class parts).  Calibrated so the bandwidth knee sits
+   near 25 % occupancy at stencil ILP — the same knee the bottleneck
+   model and the paper use. *)
+let mlp_per_warp ~ilp = Float.min 16.0 (4.0 *. ilp)
+
+let sector_bytes = 32.0
+
+(* Barrier cost in cycles (mirrors the bottleneck model so the two
+   estimators price synchronization consistently). *)
+let sync_cycles (d : Device.t) threads_per_block =
+  let warps = float_of_int ((threads_per_block + d.warp_size - 1) / d.warp_size) in
+  30.0 +. (2.0 *. warps)
+
+let wave_latency_s = 2.0e-6
+
+(** Issue utilization: concurrent dependent chains per scheduler slot
+    over the latency each link must hide.  Reaches 1.0 exactly at
+    [Device.latency_knee_occupancy]. *)
+let issue_utilization (d : Device.t) (occ : Occupancy.result) ~ilp =
+  if occ.active_threads <= 0 || ilp <= 0.0 then 0.0
+  else begin
+    let warps_per_sm = float_of_int occ.active_threads /. float_of_int d.warp_size in
+    let per_scheduler = warps_per_sm /. float_of_int d.schedulers_per_sm in
+    Float.min 1.0 (per_scheduler *. ilp /. d.dp_latency_cycles)
+  end
+
+(* Memory-level parallelism factor for a pipe of bandwidth [bw] (bytes/s
+   aggregate) and round-trip latency [lat_cycles]: resident warps x
+   per-warp outstanding sectors must cover the bandwidth-latency product
+   or the pipe runs latency-limited. *)
+let mlp_factor (d : Device.t) (occ : Occupancy.result) ~ilp ~bw ~lat_cycles =
+  if occ.active_threads <= 0 then 0.0
+  else begin
+    let warps_per_sm = float_of_int occ.active_threads /. float_of_int d.warp_size in
+    let resident_warps = warps_per_sm *. float_of_int d.sms in
+    let in_flight_bytes = resident_warps *. mlp_per_warp ~ilp *. sector_bytes in
+    let bw_lat_product = bw *. (lat_cycles /. (d.clock_ghz *. 1e9)) in
+    if bw_lat_product <= 0.0 then 1.0
+    else Float.min 1.0 (in_flight_bytes /. bw_lat_product)
+  end
+
+let predict (d : Device.t) (w : inputs) =
+  let u0 = issue_utilization d w.occupancy ~ilp:w.ilp in
+  if u0 = 0.0 then
+    {
+      t_issue = infinity; t_dram = infinity; t_tex = infinity; t_shm = infinity;
+      t_overhead = infinity; mlp = 0.0; u_issue = 0.0; time_s = infinity;
+    }
+  else begin
+    let concurrent_blocks = max 1 (w.occupancy.blocks_per_sm * d.sms) in
+    (* Wavefront serialization: one dependence phase's blocks in flight
+       at a time. *)
+    let phases = max 1 (min w.serial_waves (max 1 w.blocks)) in
+    let blocks_per_phase = (w.blocks + phases - 1) / phases in
+    let f_par =
+      if phases = 1 then 1.0
+      else
+        Float.min 1.0
+          (float_of_int (max 1 blocks_per_phase) /. float_of_int concurrent_blocks)
+    in
+    let u_issue = u0 *. f_par in
+    let m_dram =
+      mlp_factor d w.occupancy ~ilp:w.ilp ~bw:d.dram_bw
+        ~lat_cycles:dram_latency_cycles
+      *. f_par
+    in
+    let m_tex =
+      mlp_factor d w.occupancy ~ilp:w.ilp ~bw:d.tex_bw ~lat_cycles:tex_latency_cycles
+      *. f_par
+    in
+    let t_issue = w.total_flops /. (d.peak_dp_flops *. u_issue) in
+    let t_dram = w.dram_bytes /. (d.dram_bw *. Float.max 1e-9 m_dram) in
+    let t_tex = w.sectors *. sector_bytes /. (d.tex_bw *. Float.max 1e-9 m_tex) in
+    let t_shm = w.shm_bytes /. (d.shm_bw *. u_issue) in
+    let waves =
+      float_of_int phases
+      *. ceil (float_of_int blocks_per_phase /. float_of_int concurrent_blocks)
+    in
+    let stall_discount = if w.prefetch then 0.4 else 1.0 in
+    let t_sync =
+      waves *. w.syncs_per_block
+      *. sync_cycles d w.threads_per_block
+      *. stall_discount
+      /. (d.clock_ghz *. 1e9)
+    in
+    let t_overhead = t_sync +. (float_of_int (phases - 1) *. wave_latency_s) in
+    let t_max = Float.max (Float.max t_issue t_dram) (Float.max t_tex t_shm) in
+    {
+      t_issue; t_dram; t_tex; t_shm; t_overhead;
+      mlp = m_dram; u_issue;
+      time_s = t_max +. t_overhead;
+    }
+  end
+
+(** Predicted useful TFLOPS under the model (comparable to the analytic
+    measurement's figure of merit). *)
+let tflops (w : inputs) (p : prediction) =
+  if p.time_s <= 0.0 || p.time_s = infinity then 0.0
+  else w.useful_flops /. p.time_s /. 1e12
+
+let pp fmt p =
+  Format.fprintf fmt
+    "predicted %.3e s (issue %.2e, dram %.2e, tex %.2e, shm %.2e, overhead %.2e) \
+     u_issue %.2f mlp %.2f"
+    p.time_s p.t_issue p.t_dram p.t_tex p.t_shm p.t_overhead p.u_issue p.mlp

@@ -1,0 +1,42 @@
+(** Warp-level analytical runtime estimator (Ernst et al. style): a
+    measurement-free composition of per-warp issue latency,
+    memory-level parallelism, and per-device bandwidth ceilings.  The
+    tuner scores candidate plans with it before paying a full analytic
+    measurement (pre-ranking); see docs/MODEL.md. *)
+
+type inputs = {
+  occupancy : Occupancy.result;
+  ilp : float;  (** independent instructions per thread between dependences *)
+  blocks : int;  (** total thread blocks launched *)
+  threads_per_block : int;
+  useful_flops : float;  (** whole-grid useful FLOPs *)
+  total_flops : float;  (** whole-grid executed FLOPs *)
+  dram_bytes : float;  (** whole-grid DRAM traffic incl. spills *)
+  sectors : float;  (** whole-grid 32-byte global transactions *)
+  shm_bytes : float;  (** whole-grid shared-memory traffic *)
+  syncs_per_block : float;
+  prefetch : bool;
+  serial_waves : int;  (** dependence-forced launch phases; 1 = none *)
+}
+
+type prediction = {
+  t_issue : float;  (** warp issue/latency chain, seconds *)
+  t_dram : float;
+  t_tex : float;
+  t_shm : float;
+  t_overhead : float;  (** barriers + phase transitions, seconds *)
+  mlp : float;  (** achieved memory-level parallelism factor in [0, 1] *)
+  u_issue : float;  (** latency-hiding issue utilization in [0, 1] *)
+  time_s : float;  (** predicted runtime; [infinity] when unlaunchable *)
+}
+
+(** Issue utilization: reaches 1.0 exactly at
+    [Device.latency_knee_occupancy]. *)
+val issue_utilization : Device.t -> Occupancy.result -> ilp:float -> float
+
+val predict : Device.t -> inputs -> prediction
+
+(** Predicted useful TFLOPS under the model. *)
+val tflops : inputs -> prediction -> float
+
+val pp : Format.formatter -> prediction -> unit

@@ -32,6 +32,7 @@ type report = { threshold_pct : float; checks : check list; regressions : int }
    gate automatically without touching this module. *)
 let higher_better key =
   key = "tflops" || key = "warm_speedup" || key = "dram_traffic_reduction"
+  || key = "measurements_saved_pct"
   || (String.length key >= 7 && String.sub key 0 7 = "speedup")
 
 (* Walk OLD and NEW in lockstep, collecting indicator leaves.  The meta

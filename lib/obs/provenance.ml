@@ -22,27 +22,35 @@ let strip ev =
 (* Tuner runs                                                          *)
 (* ------------------------------------------------------------------ *)
 
-type run = { info : Json.t option; candidates : Json.t list }
+type run = { info : Json.t option; candidates : Json.t list; preranks : Json.t list }
 
 (* Events arrive in journal order: a [tuner.run] opens a run and the
-   [tuner.candidate]s that follow belong to it.  Candidates with no
-   opening event (not produced by our writers, but possible in a hand-cut
-   journal) get a headerless run. *)
+   [tuner.candidate]s (and per-phase [tuner.prerank] summaries) that
+   follow belong to it.  Candidates with no opening event (not produced
+   by our writers, but possible in a hand-cut journal) get a headerless
+   run. *)
 let split_runs events =
   let finish current runs =
     match current with
     | None -> runs
-    | Some r -> { r with candidates = List.rev r.candidates } :: runs
+    | Some r ->
+      { r with candidates = List.rev r.candidates; preranks = List.rev r.preranks }
+      :: runs
   in
   let runs, current =
     List.fold_left
       (fun (runs, current) ev ->
         match kind ev with
-        | "tuner.run" -> (finish current runs, Some { info = Some ev; candidates = [] })
+        | "tuner.run" ->
+          (finish current runs, Some { info = Some ev; candidates = []; preranks = [] })
         | "tuner.candidate" -> (
           match current with
           | Some r -> (runs, Some { r with candidates = ev :: r.candidates })
-          | None -> (runs, Some { info = None; candidates = [ ev ] }))
+          | None -> (runs, Some { info = None; candidates = [ ev ]; preranks = [] }))
+        | "tuner.prerank" -> (
+          match current with
+          | Some r -> (runs, Some { r with preranks = ev :: r.preranks })
+          | None -> (runs, Some { info = None; candidates = []; preranks = [ ev ] }))
         | _ -> (runs, current))
       ([], None) events
   in
@@ -58,6 +66,7 @@ let run_report r =
   in
   let pruned = List.filter (fun c -> decision c = "lint-pruned") cands in
   let static_pruned = List.filter (fun c -> decision c = "static-pruned") cands in
+  let prerank_pruned = List.filter (fun c -> decision c = "prerank-pruned") cands in
   let failed = List.filter (fun c -> decision c = "failed") cands in
   let cache_count v =
     List.length (List.filter (fun c -> str "cache" c = Some v) cands)
@@ -102,6 +111,7 @@ let run_report r =
     @ List.map (entry "failed" []) failed
     @ List.map (entry "lint-pruned" []) pruned
     @ List.map (entry "static-pruned" []) static_pruned
+    @ List.map (entry "prerank-pruned" []) prerank_pruned
   in
   let info_num k = match r.info with Some i -> num k i | None -> None in
   let info_str k = match r.info with Some i -> str k i | None -> None in
@@ -126,6 +136,19 @@ let run_report r =
         [ ( "plan",
             match str "plan" c with Some p -> Json.Str p | None -> Json.Null );
           ("tflops", Json.Float (f "tflops"));
+          (* Prediction vs measurement for the winner: present when the
+             pre-ranking model scored this candidate before it was
+             measured. *)
+          ( "predicted_time_s",
+            match num "predicted_time_s" c with
+            | Some v -> Json.Float v
+            | None -> Json.Null );
+          ( "time_s",
+            match num "time_s" c with Some v -> Json.Float v | None -> Json.Null );
+          ( "prediction_error_pct",
+            match (num "predicted_time_s" c, num "time_s" c) with
+            | Some p, Some m when m > 0.0 -> Json.Float ((p -. m) /. m *. 100.0)
+            | _ -> Json.Null );
           ("useful_flops", Json.Float (f "useful_flops"));
           ("total_flops", Json.Float (f "total_flops"));
           ("spill_bytes", Json.Float (f "spill_bytes"));
@@ -152,10 +175,12 @@ let run_report r =
       ("measured", Json.Int (List.length measured));
       ("lint_pruned", Json.Int (List.length pruned));
       ("static_pruned", Json.Int (List.length static_pruned));
+      ("prerank_pruned", Json.Int (List.length prerank_pruned));
       ("failed", Json.Int (List.length failed));
       ("cache_hits", Json.Int hits); ("cache_misses", Json.Int misses);
       ("prunes_by_code", Json.Obj prunes);
       ("static_prunes_by_code", Json.Obj static_prunes);
+      ("prerank", Json.List (List.map strip r.preranks));
       ("ranked", Json.List ranked);
       ("traffic", traffic) ]
 
@@ -277,6 +302,7 @@ let report ?program events =
             ("measured", Json.Int (total "measured"));
             ("lint_pruned", Json.Int (total "lint_pruned"));
             ("static_pruned", Json.Int (total "static_pruned"));
+            ("prerank_pruned", Json.Int (total "prerank_pruned"));
             ("failed", Json.Int (total "failed"));
             ("cache_hits", Json.Int hits); ("cache_misses", Json.Int misses);
             ( "cache_hit_rate",
@@ -307,11 +333,12 @@ let render doc =
   | Json.Obj _ as s ->
     Printf.bprintf b
       "summary: %g tuner run(s), %g candidate(s) — %g measured, %g \
-       lint-pruned, %g static-pruned, %g failed; cache %g hit / %g miss \
-       (%.1f%% hit rate)\n"
+       lint-pruned, %g static-pruned, %g prerank-pruned, %g failed; cache %g \
+       hit / %g miss (%.1f%% hit rate)\n"
       (num_or "tuner_runs" s 0.0) (num_or "candidates" s 0.0)
       (num_or "measured" s 0.0) (num_or "lint_pruned" s 0.0)
       (num_or "static_pruned" s 0.0)
+      (num_or "prerank_pruned" s 0.0)
       (num_or "failed" s 0.0) (num_or "cache_hits" s 0.0)
       (num_or "cache_misses" s 0.0)
       (100.0 *. num_or "cache_hit_rate" s 0.0)
@@ -351,6 +378,15 @@ let render doc =
                 prunes));
         Buffer.add_char b '\n'
       | _ -> ());
+      (match Option.bind (Json.member "prerank" r) Json.to_list_opt with
+      | Some ((_ :: _) as ps) ->
+        let sum k = List.fold_left (fun a p -> a +. num_or k p 0.0) 0.0 ps in
+        Printf.bprintf b
+          "  prerank: model kept %g of %g candidate(s) for measurement (keep \
+           %g%%)\n"
+          (sum "kept") (sum "candidates")
+          (num_or "keep_pct" (List.hd ps) 0.0)
+      | _ -> ());
       let ranked =
         match Option.bind (Json.member "ranked" r) Json.to_list_opt with
         | Some l -> l
@@ -377,6 +413,11 @@ let render doc =
           | "static-pruned" ->
             Printf.bprintf b "    %2d. static race %s  %s\n" (j + 1)
               (str_or "lint_code" c "?") plan
+          | "prerank-pruned" ->
+            Printf.bprintf b "    %2d. prerank-pruned (predicted %s s)  %s\n"
+              (j + 1)
+              (g (num_or "predicted_time_s" c 0.0))
+              plan
           | _ -> Printf.bprintf b "    %2d. %s  %s%s\n" (j + 1) status plan cache)
         ranked;
       match Json.member "traffic" r with
@@ -397,7 +438,15 @@ let render doc =
         | _ -> ());
         Printf.bprintf b "; spill %s B; bottleneck %s\n"
           (g (num_or "spill_bytes" t 0.0))
-          (str_or "bottleneck" t "?")
+          (str_or "bottleneck" t "?");
+        (match (num "predicted_time_s" t, num "time_s" t) with
+        | Some p, Some m ->
+          Printf.bprintf b
+            "  winner prediction: %s s predicted vs %s s measured (%+.1f%% \
+             model error)\n"
+            (g p) (g m)
+            (num_or "prediction_error_pct" t 0.0)
+        | _ -> ())
       | _ -> ())
     runs;
   (match section "deep" with

@@ -12,6 +12,7 @@
 module Plan = Artemis_ir.Plan
 module Lint = Artemis_lint.Lint
 module Analytic = Artemis_exec.Analytic
+module Predict = Artemis_exec.Predict
 module Classify = Artemis_profile.Classify
 module Hints = Artemis_profile.Hints
 module Trace = Artemis_obs.Trace
@@ -73,6 +74,46 @@ let measure_candidate (plan : Plan.t) =
 
 let m_configs_measured = Metrics.counter "tuner.configs_measured"
 let m_tuner_runs = Metrics.counter "tuner.runs"
+let m_configs_prerank_pruned = Metrics.counter "tuner.configs_prerank_pruned"
+
+(* Pre-ranking: before paying a full analytic measurement per candidate,
+   score every legal candidate with the measurement-free warp model
+   ([Predict.time_s]) and only measure the slice predicted fastest.
+   [prerank_keep] is the percentage kept; >= 100 disables the filter.
+   The default is calibrated on the committed benchmark suite: the
+   chosen plan is unchanged while most measurements are skipped (gated
+   by [prerank_plan_equal] in BENCH_tuner.json and `make model-smoke`). *)
+let default_prerank_keep = 25.0
+let prerank_keep = ref default_prerank_keep
+
+(* Split candidates into (kept, pruned) by predicted score, keeping the
+   top [!prerank_keep] percent (at least one).  Scoring fans out on the
+   pool (it is pure); the cut happens here with the candidate index as
+   tie-break, so equal scores keep canonical order and the kept set is
+   order-deterministic.  [None] when the filter is off or trivial; the
+   returned candidates carry their predicted seconds. *)
+let prerank_split ~label plans =
+  let pct = !prerank_keep in
+  let n = List.length plans in
+  if pct >= 100.0 || n <= 1 then None
+  else begin
+    (* Score exactly what measurement would run: the register-stepped
+       plan, not the raw candidate — occupancy (and with it every
+       utilization factor) depends on the register budget. *)
+    let ranked = Pool.map ~label (fun p -> Predict.rank (stepped p)) plans in
+    let keep_n = max 1 (int_of_float (ceil (float_of_int n *. pct /. 100.0))) in
+    let keep = Array.make n false in
+    List.mapi (fun i (s, _) -> (s, i)) ranked
+    |> List.sort (fun ((a : float), i) (b, j) ->
+           match compare a b with 0 -> compare i j | c -> c)
+    |> List.iteri (fun rank (_, i) -> if rank < keep_n then keep.(i) <- true);
+    let kept, pruned =
+      List.combine plans (List.map snd ranked)
+      |> List.mapi (fun i ps -> (i, ps))
+      |> List.partition (fun (i, _) -> keep.(i))
+    in
+    Some (List.map snd kept, List.map snd pruned)
+  end
 
 (* One journal event per temporally-blocked configuration considered: the
    degree, halo policy, and buffer strategy with the tuner's verdict.
@@ -150,7 +191,15 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
             ("decision", Str "pruned"); ("reason", Str reason) ]
   in
   let cache_str = function `Hit -> "hit" | `Miss -> "miss" in
-  let consider_result ~phase acc plan result =
+  let consider_result ~phase ?predicted acc plan result =
+    (* When pre-ranking is active the surviving candidates carry their
+       model score into the journal, so explain can put prediction and
+       measurement side by side for the winner. *)
+    let predicted_field =
+      match predicted with
+      | Some s -> [ ("predicted_time_s", Json.Float s) ]
+      | None -> []
+    in
     match result with
     | `Lint_pruned (f : Lint.finding) ->
       Metrics.incr
@@ -204,7 +253,7 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
            roofline breakdown renders, so every byte class and both FLOP
            totals go in, not just the score. *)
         Journal.append "tuner.candidate"
-          [ ("phase", Json.Str phase); ("plan", Json.Str (Plan.label m.plan));
+          ([ ("phase", Json.Str phase); ("plan", Json.Str (Plan.label m.plan));
             ("decision", Json.Str (if kept then "keep" else "drop"));
             ("cache", Json.Str (cache_str cache));
             ("tflops", Json.Float m.tflops); ("time_s", Json.Float m.time_s);
@@ -218,7 +267,8 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
             ("spill_bytes", Json.Float m.counters.spill_bytes);
             ("oi_dram", Json.Float (Counters.oi_dram m.counters));
             ("oi_tex", Json.Float (Counters.oi_tex m.counters));
-            ("oi_shm", Json.Float (Counters.oi_shm m.counters)) ];
+            ("oi_shm", Json.Float (Counters.oi_shm m.counters)) ]
+          @ predicted_field);
       journal_temporal ~phase
         ~decision:(if kept then "keep" else "drop")
         ~extra:
@@ -239,10 +289,43 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
   in
   (* Fan the measurements out, then fold the results on this domain in
      the candidates' canonical order — same accounting, same winner, and
-     the same tie-breaking as a serial sweep. *)
+     the same tie-breaking as a serial sweep.
+
+     With pre-ranking active ([prerank_keep] < 100) the candidates are
+     first scored by the measurement-free warp model; only the slice
+     predicted fastest is measured.  Scoring is pure and deterministic,
+     so it also fans out on the pool; the keep/prune cut, the metrics,
+     and every journal event happen here on the main domain in canonical
+     candidate order — jobs=1 and jobs=N runs stay byte-identical. *)
   let consider_all ~phase ~label acc plans =
-    let results = Pool.map ~label measure_candidate plans in
-    List.fold_left2 (consider_result ~phase) acc plans results
+    match prerank_split ~label:(label ^ ".predict") plans with
+    | None ->
+      let results = Pool.map ~label measure_candidate plans in
+      List.fold_left2 (consider_result ~phase) acc plans results
+    | Some (kept, pruned) ->
+      if Journal.enabled () then
+        Journal.append "tuner.prerank"
+          [ ("phase", Json.Str phase);
+            ("candidates", Json.Int (List.length plans));
+            ("kept", Json.Int (List.length kept));
+            ("pruned", Json.Int (List.length pruned));
+            ("keep_pct", Json.Float !prerank_keep) ];
+      List.iter
+        (fun (p, s) ->
+          Metrics.incr m_configs_prerank_pruned;
+          prune ~phase ~reason:"prerank" p;
+          if Journal.enabled () then
+            Journal.append "tuner.candidate"
+              [ ("phase", Json.Str phase); ("plan", Json.Str (Plan.label p));
+                ("decision", Json.Str "prerank-pruned");
+                ("predicted_time_s", Json.Float s) ];
+          journal_temporal ~phase ~decision:"prerank-pruned"
+            ~extra:[ ("predicted_time_s", Json.Float s) ] p)
+        pruned;
+      let results = Pool.map ~label measure_candidate (List.map fst kept) in
+      List.fold_left2
+        (fun acc (plan, s) result -> consider_result ~phase ~predicted:s acc plan result)
+        acc kept results
   in
   Metrics.incr m_tuner_runs;
   (* One header event per search: the machine-model constants explain
@@ -254,7 +337,8 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
         ("alpha_tflops", Json.Float (base.device.peak_dp_flops /. 1e12));
         ("knee_dram", Json.Float (Device.knee_dram base.device));
         ("knee_tex", Json.Float (Device.knee_tex base.device));
-        ("knee_shm", Json.Float (Device.knee_shm base.device)) ];
+        ("knee_shm", Json.Float (Device.knee_shm base.device));
+        ("prerank_keep", Json.Float !prerank_keep) ];
   (* ---- phase 1: block shapes x unroll vectors ---- *)
   let blocks =
     Space.block_candidates ~rank ~scheme:base.scheme
@@ -294,11 +378,20 @@ let tune ?(knobs = default_knobs) (base : Plan.t) =
          equal-TFLOPS blocks keep their canonical candidate order, which
          is what makes the promoted set independent of measurement
          completion order. *)
+      let cands =
+        List.map (fun block -> { base with block; unroll = p1_best.plan.unroll }) blocks
+      in
+      (* Under pre-ranking the re-rank pays the same filtered budget:
+         only the blocks the model rates survive to a measurement.  The
+         cut depends on nothing but the candidates and the model, so
+         cold and warm runs promote the same set. *)
+      let cands =
+        match prerank_split ~label:"tune.top.predict" cands with
+        | None -> cands
+        | Some (kept, _) -> List.map fst kept
+      in
       let measured =
-        List.filter_map Fun.id
-          (Pool.map ~label:"tune.top"
-             (fun block -> measure_stepped { base with block; unroll = p1_best.plan.unroll })
-             blocks)
+        List.filter_map Fun.id (Pool.map ~label:"tune.top" measure_stepped cands)
       in
       List.stable_sort
         (fun (a : Analytic.measurement) b -> compare b.tflops a.tflops)

@@ -32,6 +32,16 @@ type knobs = {
 
 val default_knobs : knobs
 
+(** Pre-ranking filter: percentage of each candidate batch kept for full
+    analytic measurement after scoring with the measurement-free warp
+    model ([Predict]/[Warp_model]).  Values >= 100 disable the filter.
+    The default is calibrated so the chosen plan is unchanged on the
+    committed suite while most measurements are skipped (see
+    BENCH_tuner.json's prerank rows and `make model-smoke`). *)
+val prerank_keep : float ref
+
+val default_prerank_keep : float
+
 (** Derive knob settings from the profiler's guideline decisions
     (Section IV-A): unrolling off under register pressure or for
     compute-bound kernels, register-level refinements on when

@@ -26,6 +26,15 @@ let make2 seed index =
   ignore (next t');
   t'
 
+(* A child stream derived from the parent's CURRENT state without
+   consuming a parent draw: existing draw sequences stay byte-identical
+   when a decision moves onto a fork.  Mixing with a constant other than
+   [golden] keeps the child from shadowing the parent's own next state. *)
+let fork t =
+  let child = { state = Int64.logxor t.state 0xD6E8FEB86659FD93L } in
+  ignore (next child);
+  child
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
   (* Non-negative residue of the top 63 bits; bias is negligible for the

@@ -14,6 +14,11 @@ val make : int -> t
     perturbs the next case. *)
 val make2 : int -> int -> t
 
+(** A child stream derived from the parent's current state WITHOUT
+    consuming a parent draw: decisions that move onto a fork leave every
+    existing (seed, index) draw sequence byte-identical. *)
+val fork : t -> t
+
 (** [int t bound] is uniform in [\[0, bound)].
     @raise Invalid_argument when [bound <= 0] *)
 val int : t -> int -> int

@@ -19,7 +19,7 @@ type variant =
   | Temporal_blocked of int
 
 type cfg = {
-  device : [ `P100 | `V100 ];
+  device : string;  (* [Device.registry] alias *)
   opts : Options.t;
   block_pick : int;
   unroll_pick : int;
@@ -56,12 +56,11 @@ let trial_label t =
      | Plan.Output_persp -> " out-persp"
      | Plan.Input_persp -> " in-persp"
      | Plan.Mixed_persp -> " mix-persp")
-    (match t.cfg.device with `P100 -> "p100" | `V100 -> "v100")
-    t.cfg.block_pick t.cfg.unroll_pick t.cfg.regs_pick
+    t.cfg.device t.cfg.block_pick t.cfg.unroll_pick t.cfg.regs_pick
 
 let default_cfg =
   {
-    device = `P100;
+    device = "p100";
     opts = Options.default;
     block_pick = -1;
     unroll_pick = -1;
@@ -93,8 +92,15 @@ let random_cfg rng ~rank =
          numerically sound but not bit-identical — outside this oracle. *)
     }
   in
+  (* Non-default devices come from a forked stream: the fork consumes no
+     parent draw and the 0.25 chance below is the same draw as before the
+     registry existed, so every pinned (seed, index) program and every
+     other pick in this trial stays byte-identical — only trials that
+     already left the P100 now spread over the whole registry. *)
+  let drng = Rng.fork rng in
+  let alt_devices = List.filter (fun a -> a <> "p100") (List.map fst Device.registry) in
   {
-    device = (if Rng.chance rng 0.25 then `V100 else `P100);
+    device = (if Rng.chance rng 0.25 then Rng.pick drng alt_devices else "p100");
     opts;
     block_pick = Rng.int rng 9973;
     unroll_pick = Rng.int rng 997;
@@ -138,7 +144,10 @@ let trials rng (case : Gen.case) =
 (* Applying a trial                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let device_of = function `P100 -> Device.p100 | `V100 -> Device.v100
+let device_of alias =
+  match Device.find alias with
+  | Some d -> d
+  | None -> invalid_arg ("Sampler.device_of: unknown device " ^ alias)
 
 (* Shrink the block until launchable, as the tuner's validity filter
    would (mirrors test/util.ml's valid_lower). *)

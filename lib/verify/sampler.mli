@@ -18,7 +18,11 @@ type variant =
           ([Runner.temporal_rewrite]); bit-exact vs the plain schedule *)
 
 type cfg = {
-  device : [ `P100 | `V100 ];
+  device : string;
+      (** [Artemis_gpu.Device.registry] alias; sampled trials draw
+          non-default devices from a forked rng stream so the pinned
+          (seed, index) corpus stays byte-identical as the registry
+          grows *)
   opts : Artemis_codegen.Options.t;  (** retime is always off: retimed
       plans reassociate sums and are not bit-comparable *)
   block_pick : int;  (** index into [Space.block_candidates]; -1 = default *)

@@ -167,11 +167,15 @@ let tests =
           let candidates = int_of (field "candidates" s) in
           let measured = int_of (field "measured" s) in
           let pruned = int_of (field "lint_pruned" s) in
+          let prerank_pruned = int_of (field "prerank_pruned" s) in
           let failed = int_of (field "failed" s) in
           Alcotest.(check bool) "tuner saw candidates" true (candidates > 0);
-          Alcotest.(check int) "measured + pruned + failed = candidates"
+          Alcotest.(check bool) "prerank pruned candidates" true
+            (prerank_pruned > 0);
+          Alcotest.(check int)
+            "measured + pruned + prerank-pruned + failed = candidates"
             candidates
-            (measured + pruned + failed);
+            (measured + pruned + prerank_pruned + failed);
           Alcotest.(check int) "every measurement has a cache outcome" measured
             (int_of (field "cache_hits" s) + int_of (field "cache_misses" s));
           (* The report must also render without raising. *)
